@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+Figure benches run one simulation per benchmark round at ``BENCH``
+scale (smaller than the experiment harness's QUICK so the whole suite
+finishes in minutes); micro benches exercise the substrates directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimulationParams
+from repro.experiments import ExperimentScale, loaded_workload
+
+#: Benchmark-suite scale: saturating but small.  Sessions are kept
+#: short (think 0.25 s, ≤10 pages) so the 4-second measurement window
+#: sees steady-state load.
+BENCH = ExperimentScale(
+    name="bench",
+    duration_s=4.0,
+    session_rates={
+        "synthetic": 500.0,
+        "cs-department": 450.0,
+        "worldcup": 400.0,
+    },
+    n_backends=8,
+    think_time_mean=0.25,
+    max_session_pages=10,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def synthetic_loaded():
+    return loaded_workload("synthetic", BENCH)
+
+
+@pytest.fixture(scope="session")
+def cs_loaded():
+    return loaded_workload("cs-department", BENCH)
+
+
+@pytest.fixture(scope="session")
+def worldcup_loaded():
+    return loaded_workload("worldcup", BENCH)
+
+
+@pytest.fixture(scope="session")
+def bench_params() -> SimulationParams:
+    return SimulationParams(n_backends=BENCH.n_backends)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavyweight function with exactly one measurement."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""Extension bench — closed-loop capacity curves.
+
+The classic systems figure the paper's open-loop traces cannot draw:
+throughput vs concurrent sessions, per policy.  Each policy saturates at
+its bottleneck (WRR at the disks, LARD at the distributor, PRORD at the
+backends), so the curves separate exactly where the paper's Fig. 7 bars
+say they should.
+"""
+
+import pytest
+
+from repro.core import SimulationParams, mine_components
+from repro.experiments import format_table
+from repro.logs import TrafficSpec
+from repro.policies import ReplicationEngine
+from repro.core.system import build_policy
+from repro.sim import run_closed_loop
+
+from conftest import BENCH, run_once
+
+CONCURRENCY = (100, 400, 1600)
+POLICIES = ("wrr", "lard", "prord")
+_results = {}
+
+
+def _spec():
+    return TrafficSpec(think_time_mean=0.25, mean_session_pages=5,
+                       max_session_pages=10)
+
+
+@pytest.mark.parametrize("concurrency", CONCURRENCY)
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_capacity_cell(benchmark, policy_name, concurrency, cs_loaded):
+    params = SimulationParams(
+        n_backends=BENCH.n_backends,
+        cache_bytes=int(BENCH.cache_fraction * cs_loaded.site_bytes
+                        / BENCH.n_backends),
+    )
+    mining = None
+    if policy_name == "prord":
+        mining = mine_components(cs_loaded, params)
+    policy, replicator = build_policy(policy_name, mining, params)
+
+    result = run_once(benchmark, lambda: run_closed_loop(
+        cs_loaded.site, policy, params,
+        concurrency=concurrency,
+        duration_s=BENCH.duration_s,
+        spec=_spec(),
+        replicator=replicator,
+    ))
+    _results[(policy_name, concurrency)] = result
+    assert result.report.completed > 0
+
+
+def test_capacity_report(benchmark):
+    if len(_results) != len(CONCURRENCY) * len(POLICIES):
+        pytest.skip("cells did not execute")
+    rows = benchmark(lambda: [
+        [c, p, f"{_results[(p, c)].throughput_rps:.0f}",
+         f"{_results[(p, c)].mean_response_s * 1e3:.1f}"]
+        for c in CONCURRENCY for p in POLICIES
+    ])
+    print()
+    print(format_table(
+        "Extension - closed-loop capacity (cs-department)",
+        ["sessions", "policy", "thr (rps)", "resp (ms)"], rows))
+    # At top concurrency the locality policies must beat WRR clearly.
+    top = CONCURRENCY[-1]
+    assert (_results[("lard", top)].throughput_rps
+            > 1.2 * _results[("wrr", top)].throughput_rps)
+    assert (_results[("prord", top)].throughput_rps
+            >= _results[("lard", top)].throughput_rps * 0.95)
+    # Throughput must rise (or saturate), never collapse, with load.
+    for p in POLICIES:
+        assert (_results[(p, CONCURRENCY[-1])].throughput_rps
+                > 0.8 * _results[(p, CONCURRENCY[0])].throughput_rps)

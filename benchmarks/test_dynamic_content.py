@@ -1,0 +1,76 @@
+"""Extension bench — dynamic-content mix sweep (the paper's future work).
+
+As the dynamic share of a site grows, cache locality matters less and
+CPU generation cost more, so the LARD-family advantage over WRR narrows
+while PRORD's dispatch savings persist.  This bench records throughput
+for dynamic fractions 0% / 15% / 35%.
+"""
+
+import pytest
+
+from repro.core import SimulationParams, run_policy
+from repro.experiments import format_table
+from repro.logs import SiteSpec, TrafficSpec, build_site
+from repro.logs.workloads import Workload, _make
+
+from conftest import BENCH, run_once
+
+FRACTIONS = (0.0, 0.15, 0.35)
+POLICIES = ("wrr", "lard", "prord")
+_results = {}
+
+
+def _dynamic_workload(fraction: float) -> Workload:
+    site = build_site(SiteSpec(
+        categories=("a", "b", "c"),
+        pages_per_category=250,
+        dynamic_fraction=fraction,
+        seed=77,
+    ), name=f"dyn{fraction:.2f}")
+    eval_spec = TrafficSpec(
+        num_requests=10**7,
+        session_rate=BENCH.session_rates["synthetic"],
+        duration_s=BENCH.duration_s,
+        mean_session_pages=5.0, max_session_pages=15,
+        think_time_mean=0.4, seed=78,
+    )
+    train_spec = TrafficSpec(num_requests=20_000, session_rate=20.0,
+                             mean_session_pages=5.0, seed=79)
+    return _make(f"dyn{fraction:.2f}", site, eval_spec, train_spec)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {f: _dynamic_workload(f) for f in FRACTIONS}
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_dynamic_mix_cell(benchmark, policy, fraction, workloads):
+    params = SimulationParams(n_backends=BENCH.n_backends)
+    result = run_once(benchmark, lambda: run_policy(
+        workloads[fraction], policy, params,
+        cache_fraction=BENCH.cache_fraction,
+        window_s=BENCH.duration_s,
+    ))
+    _results[(policy, fraction)] = result
+    assert result.report.completed > 0
+
+
+def test_dynamic_mix_report(benchmark):
+    if len(_results) != len(FRACTIONS) * len(POLICIES):
+        pytest.skip("sweep cells did not execute")
+    rows = benchmark(lambda: [
+        [f"{f:.0%}", p, f"{_results[(p, f)].throughput_rps:.0f}",
+         f"{_results[(p, f)].hit_rate:.1%}"]
+        for f in FRACTIONS for p in POLICIES
+    ])
+    print()
+    print(format_table(
+        "Extension - throughput vs dynamic-content share",
+        ["dynamic", "policy", "thr (rps)", "hit"], rows))
+    # The locality advantage over WRR must shrink as dynamic grows.
+    def advantage(f):
+        return (_results[("prord", f)].throughput_rps
+                / max(_results[("wrr", f)].throughput_rps, 1e-9))
+    assert advantage(FRACTIONS[-1]) <= advantage(FRACTIONS[0]) * 1.10

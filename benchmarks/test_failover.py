@@ -1,0 +1,75 @@
+"""Extension bench — throughput under a mid-run backend outage.
+
+One backend of eight goes down for the middle third of the measurement
+window.  Locality policies lose the crashed node's cache and must
+re-home its content; the bench records how much throughput each policy
+gives up versus its healthy run.
+"""
+
+import pytest
+
+from repro.core import SimulationParams, mine_components
+from repro.core.system import build_policy
+from repro.experiments import format_table
+from repro.sim import ClusterSimulator, FailureSchedule
+
+from conftest import BENCH, run_once
+
+POLICIES = ("wrr", "lard", "prord")
+_results = {}
+
+
+def _run(workload, policy_name, params, failures):
+    mining = None
+    if policy_name == "prord":
+        mining = mine_components(workload, params)
+    policy, replicator = build_policy(policy_name, mining, params)
+    cluster = ClusterSimulator(
+        workload.trace, policy, params,
+        replicator=replicator,
+        warmup_fraction=BENCH.warmup_fraction,
+        window_s=BENCH.duration_s,
+        failures=failures,
+    )
+    return cluster.run()
+
+
+@pytest.mark.parametrize("outage", [False, True])
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_failover_cell(benchmark, policy_name, outage, cs_loaded):
+    params = SimulationParams(
+        n_backends=BENCH.n_backends,
+        cache_bytes=int(BENCH.cache_fraction * cs_loaded.site_bytes
+                        / BENCH.n_backends),
+    )
+    failures = None
+    if outage:
+        third = BENCH.duration_s / 3
+        failures = FailureSchedule.single(0, at=third, duration=third)
+    result = run_once(benchmark,
+                      lambda: _run(cs_loaded, policy_name, params, failures))
+    _results[(policy_name, outage)] = result
+    assert result.report.completed > 0
+
+
+def test_failover_report(benchmark):
+    if len(_results) != 2 * len(POLICIES):
+        pytest.skip("cells did not execute")
+    rows = benchmark(lambda: [
+        [p,
+         f"{_results[(p, False)].throughput_rps:.0f}",
+         f"{_results[(p, True)].throughput_rps:.0f}",
+         f"{_results[(p, True)].throughput_rps / max(_results[(p, False)].throughput_rps, 1e-9) - 1:+.1%}"]
+        for p in POLICIES
+    ])
+    print()
+    print(format_table(
+        "Extension - one-of-eight backend outage (cs-department)",
+        ["policy", "healthy rps", "outage rps", "delta"], rows))
+    for p in POLICIES:
+        healthy = _results[(p, False)]
+        crashed = _results[(p, True)]
+        # No requests may be lost, and the outage must cost something
+        # but not collapse the cluster (7/8 of capacity remains).
+        assert crashed.report.completed == healthy.report.completed
+        assert crashed.throughput_rps > 0.5 * healthy.throughput_rps

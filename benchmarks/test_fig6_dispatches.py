@@ -1,0 +1,42 @@
+"""Fig. 6 — frequency of dispatches (LARD vs PRORD), as a benchmark.
+
+Each benchmark measures one policy's full simulation run over the same
+saturating synthetic workload; the printed rows are the Fig. 6 series.
+Shape assertion: PRORD dispatches ≪ LARD dispatches.
+"""
+
+import pytest
+
+from repro.core import run_policy
+from repro.experiments import format_table
+
+from conftest import BENCH, run_once
+
+_results = {}
+
+
+@pytest.mark.parametrize("policy", ["lard", "prord"])
+def test_fig6_policy_run(benchmark, policy, synthetic_loaded, bench_params):
+    result = run_once(benchmark, lambda: run_policy(
+        synthetic_loaded, policy, bench_params,
+        cache_fraction=BENCH.cache_fraction,
+        window_s=BENCH.duration_s,
+    ))
+    _results[policy] = result
+    assert result.report.completed > 0
+
+
+def test_fig6_report(benchmark, synthetic_loaded):
+    if set(_results) != {"lard", "prord"}:
+        pytest.skip("policy runs did not execute")
+    rows = benchmark(lambda: [
+        [p, len(synthetic_loaded.trace), _results[p].report.dispatches,
+         f"{_results[p].report.dispatch_frequency:.3f}"]
+        for p in ("lard", "prord")
+    ])
+    print()
+    print(format_table("Fig. 6 - Frequency of Dispatches (synthetic)",
+                       ["policy", "requests", "dispatches", "disp/req"],
+                       rows))
+    assert (_results["prord"].report.dispatches
+            < 0.1 * _results["lard"].report.dispatches)

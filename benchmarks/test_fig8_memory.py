@@ -1,0 +1,51 @@
+"""Fig. 8 — throughput vs. site fraction resident in cluster memory.
+
+One benchmark per (policy, memory-fraction) cell over the same
+workload; the report test prints the curve and asserts its shape:
+more memory never hurts, and the two policies converge at 100%.
+"""
+
+import pytest
+
+from repro.core import run_policy
+from repro.experiments import format_table
+
+from conftest import BENCH, run_once
+
+FRACTIONS = (0.1, 0.3, 1.0)
+POLICIES = ("lard", "prord")
+_results = {}
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fig8_cell(benchmark, policy, fraction, cs_loaded, bench_params):
+    result = run_once(benchmark, lambda: run_policy(
+        cs_loaded, policy, bench_params,
+        cache_fraction=fraction,
+        window_s=BENCH.duration_s,
+    ))
+    _results[(policy, fraction)] = result
+    assert result.report.completed > 0
+
+
+def test_fig8_report(benchmark):
+    if len(_results) != len(FRACTIONS) * len(POLICIES):
+        pytest.skip("sweep cells did not execute")
+    rows = benchmark(lambda: [
+        [f"{f:.0%}", p, f"{_results[(p, f)].throughput_rps:.0f}",
+         f"{_results[(p, f)].hit_rate:.1%}"]
+        for f in FRACTIONS for p in POLICIES
+    ])
+    print()
+    print(format_table(
+        "Fig. 8 - Throughput varying data amount in memory (cs-department)",
+        ["memory", "policy", "thr (rps)", "hit"], rows))
+    for policy in POLICIES:
+        lo = _results[(policy, FRACTIONS[0])].hit_rate
+        hi = _results[(policy, FRACTIONS[-1])].hit_rate
+        assert hi >= lo - 0.02, f"{policy}: more memory must not hurt"
+    # Full-memory runs converge.
+    full_gap = abs(_results[("prord", 1.0)].hit_rate
+                   - _results[("lard", 1.0)].hit_rate)
+    assert full_gap < 0.08

@@ -1,0 +1,56 @@
+"""Fig. 9 — throughput of the individual PRORD enhancements.
+
+One benchmark per configuration over the CS-department trace; the
+report test prints the bars and asserts complementarity: every
+enhancement ≥ the LARD core, the combination best overall.
+"""
+
+import pytest
+
+from repro.core import run_policy
+from repro.experiments import format_table
+
+from conftest import BENCH, run_once
+
+CONFIGS = (
+    "ext-lard-phttp",     # the LARD core the enhancements build on
+    "lard-bundle",
+    "lard-distribution",
+    "lard-prefetch-nav",
+    "prord",
+)
+_results = {}
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fig9_config_run(benchmark, config, cs_loaded, bench_params):
+    result = run_once(benchmark, lambda: run_policy(
+        cs_loaded, config, bench_params,
+        cache_fraction=BENCH.cache_fraction,
+        window_s=BENCH.duration_s,
+    ))
+    _results[config] = result
+    assert result.report.completed > 0
+
+
+def test_fig9_report(benchmark):
+    if set(_results) != set(CONFIGS):
+        pytest.skip("configuration runs did not execute")
+    rows = benchmark(lambda: [
+        [c, f"{_results[c].throughput_rps:.0f}",
+         f"{_results[c].mean_response_s * 1e3:.1f}",
+         f"{_results[c].hit_rate:.1%}",
+         _results[c].report.prefetches_issued]
+        for c in CONFIGS
+    ])
+    print()
+    print(format_table(
+        "Fig. 9 - Throughput of Individual Enhancements (cs-department)",
+        ["config", "thr (rps)", "resp (ms)", "hit", "prefetches"], rows))
+    base = _results["ext-lard-phttp"].throughput_rps
+    prord = _results["prord"].throughput_rps
+    assert prord > base, "the combination must beat the bare core"
+    for single in ("lard-bundle", "lard-distribution", "lard-prefetch-nav"):
+        assert _results[single].throughput_rps >= base * 0.97, (
+            f"{single} must not regress the core"
+        )

@@ -1,0 +1,57 @@
+"""Extension bench — decentralised distributors vs PRORD forwarding.
+
+Aron et al.'s answer to the distributor bottleneck (§2 related work) is
+to parallelise the front end behind a layer-4 switch; PRORD's answer is
+to stop doing per-request work at the front end.  This bench compares
+LARD with 1/2/4 distributor nodes against PRORD with a single one:
+PRORD should match or beat multi-node LARD without the extra hardware.
+"""
+
+import pytest
+
+from repro.core import SimulationParams, run_policy
+from repro.experiments import format_table
+
+from conftest import BENCH, run_once
+
+CELLS = (
+    ("ext-lard-phttp", 1),
+    ("ext-lard-phttp", 2),
+    ("ext-lard-phttp", 4),
+    ("prord", 1),
+)
+_results = {}
+
+
+@pytest.mark.parametrize("policy,n_frontends", CELLS)
+def test_frontend_scaling_cell(benchmark, policy, n_frontends, cs_loaded):
+    params = SimulationParams(n_backends=BENCH.n_backends,
+                              n_frontends=n_frontends)
+    result = run_once(benchmark, lambda: run_policy(
+        cs_loaded, policy, params,
+        cache_fraction=BENCH.cache_fraction,
+        window_s=BENCH.duration_s,
+    ))
+    _results[(policy, n_frontends)] = result
+    assert result.report.completed > 0
+
+
+def test_frontend_scaling_report(benchmark):
+    if len(_results) != len(CELLS):
+        pytest.skip("cells did not execute")
+    rows = benchmark(lambda: [
+        [p, n, f"{_results[(p, n)].throughput_rps:.0f}",
+         f"{_results[(p, n)].frontend_utilization:.0%}"]
+        for p, n in CELLS
+    ])
+    print()
+    print(format_table(
+        "Extension - distributor scaling (cs-department)",
+        ["policy", "frontends", "thr (rps)", "max fe util"], rows))
+    lard1 = _results[("ext-lard-phttp", 1)].throughput_rps
+    lard4 = _results[("ext-lard-phttp", 4)].throughput_rps
+    prord1 = _results[("prord", 1)].throughput_rps
+    # Parallel distributors must relieve the LARD bottleneck...
+    assert lard4 > lard1
+    # ...and single-front-end PRORD must at least approach 4-node LARD.
+    assert prord1 > 0.9 * lard4

@@ -1,0 +1,75 @@
+"""Micro-benchmarks for the simulation substrate.
+
+Event-engine throughput bounds every experiment's wall-clock, so a
+regression here makes the whole harness slower — keep it visible.
+"""
+
+import pytest
+
+from repro.core import SimulationParams
+from repro.sim import BackendServer, LRUCache, Resource, Simulator
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 20_000
+
+
+def test_resource_pipeline(benchmark):
+    def run_jobs():
+        sim = Simulator()
+        res = Resource(sim)
+        done = [0]
+        for _ in range(5_000):
+            res.submit(0.0001, lambda: done.__setitem__(0, done[0] + 1))
+        sim.run()
+        return done[0]
+
+    assert benchmark(run_jobs) == 5_000
+
+
+def test_lru_churn(benchmark):
+    def churn():
+        # Working set of 500 x 4 KB files in a 4 MB cache: the first
+        # pass misses, later passes hit; a smaller cache would see the
+        # cyclic scan defeat LRU entirely (0 hits).
+        cache = LRUCache(1 << 22)
+        hits = 0
+        for i in range(20_000):
+            path = f"/f{i % 500}"
+            if cache.access(path):
+                hits += 1
+            else:
+                cache.insert(path, 4096)
+        return hits
+
+    assert benchmark(churn) > 10_000
+
+
+def test_server_request_stream(benchmark):
+    params = SimulationParams(n_backends=1, cache_bytes=1 << 22)
+
+    def stream():
+        sim = Simulator()
+        srv = BackendServer(sim, 0, params)
+        done = [0]
+        for i in range(3_000):
+            sim.schedule_at(i * 1e-4, lambda i=i: srv.handle(
+                f"/f{i % 200}", 8192,
+                lambda sid, hit: done.__setitem__(0, done[0] + 1)))
+        sim.run()
+        return done[0]
+
+    assert benchmark(stream) == 3_000

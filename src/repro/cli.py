@@ -1,0 +1,352 @@
+"""Command-line interface: the paper's pipeline on real log files.
+
+The paper's simulator "takes any log file in common log format as the
+input"; this CLI exposes the same workflow::
+
+    repro workload synthetic --out-dir /tmp/site      # make CLF logs
+    repro mine /tmp/site/training.log                 # log-mining report
+    repro simulate /tmp/site/access.log --policy prord
+    repro compare /tmp/site/access.log
+    repro report --full                               # paper figures
+    repro table1
+
+``python -m repro`` is equivalent to the ``repro`` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.config import SimulationParams
+from .core.system import POLICY_NAMES, mine_components, run_policy
+from .logs.clf import read_log, write_log
+from .logs.records import LogRecord
+from .logs.sessions import page_sequences, sessionize, trace_from_records
+from .logs.workloads import WORKLOAD_PRESETS, Workload, make_workload
+from .mining.bundles import BundleMiner
+from .mining.depgraph import DependencyGraph
+from .mining.popularity import RankTable
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_records(path: Path) -> list[LogRecord]:
+    from .logs.validate import validate_records
+    with path.open() as fp:
+        records = read_log(fp, strict=False)
+    if not records:
+        raise SystemExit(f"error: no parsable CLF lines in {path}")
+    report = validate_records(records)
+    for finding in report.findings:
+        if finding.severity != "info":
+            print(f"note: {finding.code}: {finding.message}")
+    return records
+
+
+def _workload_from_log(path: Path, train_fraction: float) -> Workload:
+    """Split a raw log into a training prefix and an evaluation trace."""
+    records = _load_records(path)
+    records.sort(key=lambda r: r.timestamp)
+    cut = max(1, int(len(records) * train_fraction))
+    training, evaluation = records[:cut], records[cut:]
+    if not evaluation:
+        raise SystemExit("error: log too short to split into train/eval")
+    trace = trace_from_records(evaluation, name=path.name)
+    # No site model for raw logs: build a Workload-shaped stand-in.
+    from .logs.site import Website
+    site = Website([], name=path.stem)
+    w = Workload(name=path.stem, site=site, training_records=training,
+                 trace=trace)
+    return w
+
+
+# -- subcommands ------------------------------------------------------------
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    workload = make_workload(args.preset, scale=args.scale)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    train_path = out_dir / "training.log"
+    eval_path = out_dir / "access.log"
+    with train_path.open("w") as fp:
+        n_train = write_log(fp, workload.training_records)
+    # Re-emit the evaluation trace as CLF so the other subcommands can
+    # consume it like any real log.
+    eval_records = [
+        LogRecord(host=f"c{r.conn_id}", timestamp=r.arrival, method="GET",
+                  path=r.path, protocol="HTTP/1.1", status=200, size=r.size)
+        for r in workload.trace
+    ]
+    with eval_path.open("w") as fp:
+        n_eval = write_log(fp, eval_records)
+    print(workload.summary())
+    print(f"wrote {n_train} training lines to {train_path}")
+    print(f"wrote {n_eval} evaluation lines to {eval_path}")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    records = _load_records(Path(args.logfile))
+    sessions = sessionize(records, timeout=args.session_timeout)
+    sequences = page_sequences(sessions, min_length=2)
+    graph = DependencyGraph(order=args.order).train(sequences)
+    bundles = BundleMiner().mine_sessions(sessions)
+    ranks = RankTable.from_records(records)
+    print(f"log: {len(records)} requests, {len(ranks)} distinct files")
+    print(f"sessions: {len(sessions)} "
+          f"(mean {len(records) / max(len(sessions), 1):.1f} requests)")
+    print(f"dependency graph (order {graph.order}): "
+          f"{graph.num_pages} pages, {graph.num_contexts} contexts, "
+          f"{graph.memory_cells()} cells")
+    print(f"bundles: {len(bundles)} pages with embedded objects")
+    print("\ntop files by hits:")
+    for path, count in ranks.top(args.top):
+        print(f"  {count:8d}  {path}")
+    if sequences:
+        start = sequences[0][0]
+        edges = graph.edge_confidences(start)
+        if edges:
+            print(f"\nnavigation out of {start!r}:")
+            for page, conf in sorted(edges.items(),
+                                     key=lambda kv: -kv[1])[:args.top]:
+                print(f"  {conf:6.1%}  {page}")
+    return 0
+
+
+def _params_from_args(args: argparse.Namespace) -> SimulationParams:
+    kwargs = {"n_backends": args.backends}
+    if args.cache_mb is not None:
+        kwargs["cache_bytes"] = int(args.cache_mb * (1 << 20))
+    return SimulationParams(**kwargs)
+
+
+def _print_result(result) -> None:
+    print(result.summary())
+    r = result.report
+    print(f"  completed {r.completed}, connections {r.connections}, "
+          f"handoffs {r.handoffs}, dispatches {r.dispatches}")
+    print(f"  p95 response {r.p95_response_s * 1e3:.1f} ms, "
+          f"load imbalance {r.load_imbalance:.2f}")
+    if r.prefetches_issued:
+        print(f"  prefetches {r.prefetches_issued} "
+              f"({r.prefetch_precision:.0%} useful), "
+              f"replicated {r.replicated_bytes / 1024:.0f} KB")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    workload = _workload_from_log(Path(args.logfile), args.train_fraction)
+    params = _params_from_args(args)
+    result = run_policy(workload, args.policy, params, cache_fraction=None)
+    _print_result(result)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = _workload_from_log(Path(args.logfile), args.train_fraction)
+    params = _params_from_args(args)
+    for policy in args.policies:
+        result = run_policy(workload, policy, params, cache_fraction=None)
+        _print_result(result)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .mining.reports import analyze_log
+    records = _load_records(Path(args.logfile))
+    report = analyze_log(records, timeout=args.session_timeout,
+                         top=args.top)
+    print(report.format())
+    return 0
+
+
+def cmd_export_dot(args: argparse.Namespace) -> int:
+    from .mining.export import bundle_table_to_dot, depgraph_to_dot
+    records = _load_records(Path(args.logfile))
+    sessions = sessionize(records)
+    if args.what == "depgraph":
+        graph = DependencyGraph(order=args.order).train(
+            page_sequences(sessions, min_length=2))
+        dot = depgraph_to_dot(graph, min_confidence=args.min_confidence,
+                              max_nodes=args.max_nodes)
+    else:
+        table = BundleMiner().mine_sessions(sessions)
+        dot = bundle_table_to_dot(table, max_pages=args.max_nodes)
+    if args.out:
+        Path(args.out).write_text(dot + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(dot)
+    return 0
+
+
+def cmd_index_pages(args: argparse.Namespace) -> int:
+    from .mining.adaptive import IndexPageSynthesizer
+    records = _load_records(Path(args.logfile))
+    sequences = page_sequences(sessionize(records), min_length=2)
+    synthesizer = IndexPageSynthesizer(
+        min_cooccurrence=args.min_cooccurrence)
+    suggestions = synthesizer.suggest(sequences, k=args.top)
+    if not suggestions:
+        print("no index-page candidates (try --min-cooccurrence 1)")
+        return 0
+    for i, s in enumerate(suggestions, 1):
+        print(f"index page candidate #{i} (cohesion {s.score:.0f}):")
+        for page in s.pages:
+            print(f"  {page}")
+    return 0
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    from .core.system import build_policy, mine_components
+    from .logs.workloads import make_workload
+    from .sim.closedloop import run_closed_loop
+    from .logs.synthetic import TrafficSpec
+    workload = make_workload(args.preset, scale=0.05)
+    params = _params_from_args(args)
+    if args.cache_mb is None:
+        params = params.with_overrides(cache_bytes=int(
+            0.3 * workload.site_bytes / params.n_backends))
+    spec = TrafficSpec(think_time_mean=0.25, mean_session_pages=5,
+                       max_session_pages=10)
+    print(f"{'sessions':>9s} {'policy':>16s} {'thr (rps)':>10s} "
+          f"{'resp (ms)':>10s}")
+    for concurrency in args.concurrency:
+        for name in args.policies:
+            mining = (mine_components(workload, params)
+                      if name == "prord" else None)
+            policy, replicator = build_policy(name, mining, params)
+            result = run_closed_loop(
+                workload.site, policy, params,
+                concurrency=concurrency, duration_s=args.duration,
+                spec=spec, replicator=replicator,
+            )
+            print(f"{concurrency:9d} {name:>16s} "
+                  f"{result.throughput_rps:10.0f} "
+                  f"{result.mean_response_s * 1e3:10.1f}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import FULL, QUICK
+    from .experiments.report import run_all
+    run_all(FULL if args.full else QUICK)
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import table1
+    table1.main()
+    return 0
+
+
+# -- parser ------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PRORD reproduction: web-log mining and cluster "
+                    "simulation (ICPP 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workload", help="generate a synthetic CLF workload")
+    p.add_argument("preset", choices=sorted(WORKLOAD_PRESETS))
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="request-count multiplier (default 0.1)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for training.log / access.log")
+    p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser("mine", help="mine a CLF log file")
+    p.add_argument("logfile")
+    p.add_argument("--order", type=int, default=2,
+                   help="dependency-graph order (default 2)")
+    p.add_argument("--session-timeout", type=float, default=1800.0,
+                   help="session gap in seconds (default 1800)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the top-N listings")
+    p.set_defaults(func=cmd_mine)
+
+    def add_sim_options(p):
+        p.add_argument("--backends", type=int, default=8)
+        p.add_argument("--cache-mb", type=float, default=None,
+                       help="per-server cache in MB (default: Table 1)")
+        p.add_argument("--train-fraction", type=float, default=0.5,
+                       help="leading fraction of the log used for mining")
+
+    p = sub.add_parser("simulate", help="replay a CLF log through the cluster")
+    p.add_argument("logfile")
+    p.add_argument("--policy", choices=POLICY_NAMES, default="prord")
+    add_sim_options(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compare", help="run several policies over one log")
+    p.add_argument("logfile")
+    p.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
+                   default=["wrr", "lard", "ext-lard-phttp", "prord"])
+    add_sim_options(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("index-pages",
+                       help="suggest index pages (adaptive-site synthesis)")
+    p.add_argument("logfile")
+    p.add_argument("--min-cooccurrence", type=int, default=2)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=cmd_index_pages)
+
+    p = sub.add_parser("capacity",
+                       help="closed-loop capacity sweep on a preset workload")
+    p.add_argument("preset", choices=sorted(WORKLOAD_PRESETS))
+    p.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
+                   default=["wrr", "lard", "prord"])
+    p.add_argument("--concurrency", nargs="+", type=int,
+                   default=[100, 400, 1600])
+    p.add_argument("--duration", type=float, default=5.0)
+    p.add_argument("--backends", type=int, default=8)
+    p.add_argument("--cache-mb", type=float, default=None)
+    p.set_defaults(func=cmd_capacity)
+
+    p = sub.add_parser("analyze", help="website-usage report for a CLF log")
+    p.add_argument("logfile")
+    p.add_argument("--session-timeout", type=float, default=1800.0)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("export-dot",
+                       help="export mined structures as Graphviz DOT")
+    p.add_argument("logfile")
+    p.add_argument("--what", choices=("depgraph", "bundles"),
+                   default="depgraph")
+    p.add_argument("--order", type=int, default=2)
+    p.add_argument("--min-confidence", type=float, default=0.05)
+    p.add_argument("--max-nodes", type=int, default=60)
+    p.add_argument("--out", default=None, help="output file (default stdout)")
+    p.set_defaults(func=cmd_export_dot)
+
+    p = sub.add_parser("report", help="regenerate the paper's figures")
+    p.add_argument("--full", action="store_true",
+                   help="paper scale instead of quick scale")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("table1", help="print the Table-1 parameter set")
+    p.set_defaults(func=cmd_table1)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Terminal charts for the experiment reports.
+
+No plotting dependency is available offline, so the report renders its
+figures as Unicode bar charts / line sparklines — enough to eyeball the
+shapes the paper's figures show (who wins, where curves converge).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "sparkline"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    if peak <= 0:
+        return ""
+    cells = value / peak * width
+    full = int(cells)
+    frac = cells - full
+    bar = "█" * full
+    partial = _BLOCKS[int(frac * (len(_BLOCKS) - 1))]
+    return (bar + partial).rstrip() or _BLOCKS[1]
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    fmt: str = "{:.0f}",
+) -> str:
+    """Horizontal bar chart of label → value."""
+    if not values:
+        return f"{title}\n(no data)"
+    peak = max(values.values())
+    label_w = max(len(str(k)) for k in values)
+    lines = [title]
+    for label, value in values.items():
+        lines.append(
+            f"{str(label):>{label_w}s} |{_bar(value, peak, width):<{width}s}"
+            f" {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 40,
+    fmt: str = "{:.0f}",
+) -> str:
+    """Bar chart with one section per group (e.g. per workload)."""
+    if not groups:
+        return f"{title}\n(no data)"
+    peak = max(
+        (v for g in groups.values() for v in g.values()), default=0.0
+    )
+    label_w = max(
+        (len(str(k)) for g in groups.values() for k in g), default=1
+    )
+    lines = [title]
+    for group, values in groups.items():
+        lines.append(f"[{group}]")
+        for label, value in values.items():
+            lines.append(
+                f"  {str(label):>{label_w}s} |"
+                f"{_bar(value, peak, width):<{width}s} {fmt.format(value)}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of a numeric series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    marks = "▁▂▃▄▅▆▇█"
+    if span <= 0:
+        return marks[0] * len(values)
+    return "".join(
+        marks[min(len(marks) - 1, int((v - lo) / span * len(marks)))]
+        for v in values
+    )

@@ -1,0 +1,43 @@
+"""CSV export for the experiment harness.
+
+Every ``run_figN`` function returns typed row dataclasses; this module
+turns any such list into a CSV file so results can be plotted or
+archived outside the terminal report.  ``python -m
+repro.experiments.report --csv-dir out/`` writes one file per figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["rows_to_csv", "write_rows"]
+
+
+def rows_to_csv(rows: Sequence[object]) -> str:
+    """Render dataclass rows (one type per call) as CSV text."""
+    if not rows:
+        return ""
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError("rows must be dataclass instances")
+    fields = [f.name for f in dataclasses.fields(first)]
+    import io
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(fields)
+    for row in rows:
+        if type(row) is not type(first):
+            raise TypeError("all rows must share one dataclass type")
+        writer.writerow([getattr(row, f) for f in fields])
+    return buf.getvalue()
+
+
+def write_rows(rows: Sequence[object], path: Path | str) -> Path:
+    """Write dataclass rows to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows))
+    return path

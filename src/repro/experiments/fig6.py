@@ -1,0 +1,74 @@
+"""Fig. 6 — Frequency of dispatches, LARD vs PRORD, per trace.
+
+The paper shows the dispatcher being contacted for (almost) every
+request under LARD, and only for the residual main-page requests under
+PRORD: embedded objects are forwarded and prefetched/distributed pages
+are routed from the distributor's own tables.
+
+Shape target: PRORD's dispatch count ≪ LARD's on every trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import (
+    QUICK,
+    ExperimentScale,
+    format_table,
+    loaded_workload,
+    run_comparison,
+)
+
+__all__ = ["Fig6Row", "run_fig6", "main"]
+
+WORKLOADS = ("cs-department", "worldcup", "synthetic")
+POLICIES = ("lard", "prord")
+
+
+@dataclass(frozen=True, slots=True)
+class Fig6Row:
+    workload: str
+    policy: str
+    requests: int
+    dispatches: int
+
+    @property
+    def dispatch_frequency(self) -> float:
+        return self.dispatches / self.requests if self.requests else 0.0
+
+
+def run_fig6(
+    scale: ExperimentScale = QUICK,
+    workloads: tuple[str, ...] = WORKLOADS,
+) -> list[Fig6Row]:
+    """Regenerate the Fig. 6 series."""
+    rows: list[Fig6Row] = []
+    for wname in workloads:
+        workload = loaded_workload(wname, scale)
+        results = run_comparison(workload, POLICIES, scale)
+        for pname in POLICIES:
+            r = results[pname]
+            rows.append(Fig6Row(
+                workload=wname,
+                policy=pname,
+                requests=len(workload.trace),
+                dispatches=r.report.dispatches,
+            ))
+    return rows
+
+
+def main(scale: ExperimentScale = QUICK) -> str:
+    rows = run_fig6(scale)
+    table = format_table(
+        "Fig. 6 - Frequency of Dispatches",
+        ["trace", "policy", "requests", "dispatches", "disp/req"],
+        [[r.workload, r.policy, r.requests, r.dispatches,
+          f"{r.dispatch_frequency:.3f}"] for r in rows],
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

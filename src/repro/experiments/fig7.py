@@ -1,0 +1,112 @@
+"""Fig. 7 — Throughput comparison: WRR / LARD / Ext-LARD-PHTTP / PRORD.
+
+The paper reports PRORD beating LARD by 10–45% across the three traces
+(with ~30% of the site's data fitting in the cluster's memory), and
+notes the results are consistent for 6–16 backends.
+
+Shape targets:
+* ordering PRORD > Ext-LARD-PHTTP ≥ LARD > WRR,
+* PRORD/LARD gain roughly in the 10–45% band,
+* ordering stable across backend counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.config import SimulationParams
+from .common import (
+    QUICK,
+    ExperimentScale,
+    format_table,
+    gain,
+    loaded_workload,
+    run_comparison,
+)
+
+__all__ = ["Fig7Row", "run_fig7", "run_fig7_backend_sweep", "main"]
+
+WORKLOADS = ("cs-department", "worldcup", "synthetic")
+POLICIES = ("wrr", "lard", "ext-lard-phttp", "prord")
+
+
+@dataclass(frozen=True, slots=True)
+class Fig7Row:
+    workload: str
+    policy: str
+    throughput_rps: float
+    mean_response_ms: float
+    hit_rate: float
+
+
+def run_fig7(
+    scale: ExperimentScale = QUICK,
+    workloads: tuple[str, ...] = WORKLOADS,
+) -> list[Fig7Row]:
+    """Regenerate the Fig. 7 series (per-trace policy throughput)."""
+    rows: list[Fig7Row] = []
+    for wname in workloads:
+        workload = loaded_workload(wname, scale)
+        results = run_comparison(workload, POLICIES, scale)
+        for pname in POLICIES:
+            r = results[pname]
+            rows.append(Fig7Row(
+                workload=wname,
+                policy=pname,
+                throughput_rps=r.throughput_rps,
+                mean_response_ms=r.mean_response_s * 1e3,
+                hit_rate=r.hit_rate,
+            ))
+    return rows
+
+
+def run_fig7_backend_sweep(
+    scale: ExperimentScale = QUICK,
+    backend_counts: tuple[int, ...] = (6, 8, 12, 16),
+    workload_name: str = "synthetic",
+) -> dict[int, dict[str, float]]:
+    """The paper's 6–16 backend consistency check (one workload)."""
+    out: dict[int, dict[str, float]] = {}
+    workload = loaded_workload(workload_name, scale)
+    for n in backend_counts:
+        params = SimulationParams(n_backends=n)
+        sweep_scale = replace(scale, n_backends=n)
+        results = run_comparison(workload, POLICIES, sweep_scale,
+                                 params=params)
+        out[n] = {p: results[p].throughput_rps for p in POLICIES}
+    return out
+
+
+def main(scale: ExperimentScale = QUICK) -> str:
+    from .charts import grouped_bar_chart
+    rows = run_fig7(scale)
+    table = format_table(
+        "Fig. 7 - Throughput Comparison "
+        f"({scale.n_backends} backends, {scale.cache_fraction:.0%} of site "
+        "in cluster memory)",
+        ["trace", "policy", "thr (rps)", "resp (ms)", "hit"],
+        [[r.workload, r.policy, f"{r.throughput_rps:.0f}",
+          f"{r.mean_response_ms:.1f}", f"{r.hit_rate:.1%}"] for r in rows],
+    )
+    print(table)
+    by_wl: dict[str, dict[str, Fig7Row]] = {}
+    for r in rows:
+        by_wl.setdefault(r.workload, {})[r.policy] = r
+    chart = grouped_bar_chart(
+        "throughput (rps)",
+        {w: {p: rr.throughput_rps for p, rr in policies.items()}
+         for w, policies in by_wl.items()},
+    )
+    print(chart)
+    table += "\n" + chart
+    for wname, policies in by_wl.items():
+        g = policies["prord"].throughput_rps / max(
+            policies["lard"].throughput_rps, 1e-9) - 1
+        line = f"PRORD over LARD on {wname}: {g:+.1%}"
+        print(line)
+        table += "\n" + line
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

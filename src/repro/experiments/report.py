@@ -1,0 +1,70 @@
+"""Run every experiment and emit a combined report.
+
+``python -m repro.experiments.report [--full]`` regenerates all the
+paper's tables and figures at the chosen scale and prints them; the
+output is the basis of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from . import fig6, fig7, fig8, fig9, table1
+from .common import FULL, QUICK, ExperimentScale
+from .export import write_rows
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(
+    scale: ExperimentScale = QUICK,
+    *,
+    csv_dir: Path | str | None = None,
+) -> str:
+    """Run Table 1 + Figs. 6–9; returns the combined report text.
+
+    With ``csv_dir``, each figure's raw rows are also written as CSV
+    (``fig6.csv`` … ``fig9.csv``) for external plotting.
+    """
+    sections: list[str] = []
+    t0 = time.time()
+    sections.append(table1.main())
+    runners = {
+        fig6: fig6.run_fig6, fig7: fig7.run_fig7,
+        fig8: fig8.run_fig8, fig9: fig9.run_fig9,
+    }
+    for module in (fig6, fig7, fig8, fig9):
+        start = time.time()
+        if csv_dir is not None:
+            rows = runners[module](scale)
+            name = module.__name__.rsplit(".", 1)[-1]
+            path = write_rows(rows, Path(csv_dir) / f"{name}.csv")
+            sections.append(f"[wrote {path}]")
+            print(f"[wrote {path}]")
+        else:
+            sections.append(module.main(scale))
+        timing = f"[{module.__name__} took {time.time() - start:.1f} s]"
+        print(timing)
+        sections.append(timing)
+    footer = (
+        f"All experiments at scale {scale.name!r} took "
+        f"{time.time() - t0:.1f} s."
+    )
+    print(footer)
+    sections.append(footer)
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    scale = FULL if "--full" in argv else QUICK
+    csv_dir = None
+    if "--csv-dir" in argv:
+        csv_dir = argv[argv.index("--csv-dir") + 1]
+    run_all(scale, csv_dir=csv_dir)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,157 @@
+"""Common Log Format (CLF) parsing and formatting.
+
+The paper's simulator "takes any log file in common log format as the
+input"; this module is the corresponding substrate.  It supports both the
+plain CLF::
+
+    host ident authuser [dd/Mon/yyyy:HH:MM:SS zone] "METHOD /path PROTO" status size
+
+and the combined format's referer/user-agent extensions (two extra
+quoted fields), which the sessionizer and categorizer can exploit when
+present.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+from typing import Iterable, Iterator, TextIO
+
+from .records import LogRecord
+
+__all__ = [
+    "CLFParseError",
+    "parse_line",
+    "format_line",
+    "parse_lines",
+    "read_log",
+    "write_log",
+]
+
+_MONTHS = {
+    "Jan": 1, "Feb": 2, "Mar": 3, "Apr": 4, "May": 5, "Jun": 6,
+    "Jul": 7, "Aug": 8, "Sep": 9, "Oct": 10, "Nov": 11, "Dec": 12,
+}
+_MONTH_NAMES = {v: k for k, v in _MONTHS.items()}
+
+_CLF_RE = re.compile(
+    r'^(?P<host>\S+)\s+(?P<ident>\S+)\s+(?P<authuser>\S+)\s+'
+    r'\[(?P<day>\d{2})/(?P<mon>[A-Z][a-z]{2})/(?P<year>\d{4}):'
+    r'(?P<hh>\d{2}):(?P<mm>\d{2}):(?P<ss>\d{2})\s+(?P<zone>[+-]\d{4})\]\s+'
+    r'"(?P<method>\S+)\s+(?P<path>\S+)(?:\s+(?P<proto>[^"]+))?"\s+'
+    r'(?P<status>\d{3})\s+(?P<size>\d+|-)'
+    r'(?:\s+"(?P<referer>[^"]*)")?'
+    r'(?:\s+"(?P<agent>[^"]*)")?'
+)
+
+
+class CLFParseError(ValueError):
+    """Raised when a line cannot be parsed as Common Log Format."""
+
+    def __init__(self, line: str, reason: str = "malformed CLF line") -> None:
+        super().__init__(f"{reason}: {line!r}")
+        self.line = line
+
+
+def _zone_offset_seconds(zone: str) -> int:
+    sign = 1 if zone[0] == "+" else -1
+    hours = int(zone[1:3])
+    minutes = int(zone[3:5])
+    return sign * (hours * 3600 + minutes * 60)
+
+
+def parse_line(line: str) -> LogRecord:
+    """Parse one CLF (or combined-referer) line into a :class:`LogRecord`.
+
+    Raises
+    ------
+    CLFParseError
+        If the line does not match the format.
+    """
+    m = _CLF_RE.match(line.strip())
+    if m is None:
+        raise CLFParseError(line)
+    mon = _MONTHS.get(m.group("mon"))
+    if mon is None:
+        raise CLFParseError(line, "unknown month abbreviation")
+    # CLF timestamps are local time plus an explicit zone; convert to epoch.
+    epoch = calendar.timegm((
+        int(m.group("year")), mon, int(m.group("day")),
+        int(m.group("hh")), int(m.group("mm")), int(m.group("ss")),
+        0, 0, 0,
+    )) - _zone_offset_seconds(m.group("zone"))
+    size_field = m.group("size")
+    referer = m.group("referer")
+    if referer == "-":
+        referer = None
+    agent = m.group("agent")
+    if agent == "-":
+        agent = None
+    return LogRecord(
+        host=m.group("host"),
+        ident=m.group("ident"),
+        authuser=m.group("authuser"),
+        timestamp=float(epoch),
+        method=m.group("method"),
+        path=m.group("path"),
+        protocol=(m.group("proto") or "HTTP/1.0").strip(),
+        status=int(m.group("status")),
+        size=0 if size_field == "-" else int(size_field),
+        referer=referer,
+        agent=agent,
+    )
+
+
+def format_line(record: LogRecord) -> str:
+    """Format a :class:`LogRecord` back into a CLF line.
+
+    Sub-second precision is truncated (CLF stores whole seconds), so
+    ``parse_line(format_line(r))`` round-trips every field except the
+    fractional part of the timestamp.
+    """
+    t = int(record.timestamp)
+    year, mon, day, hh, mm, ss, _, _, _ = __import__("time").gmtime(t)
+    stamp = (
+        f"{day:02d}/{_MONTH_NAMES[mon]}/{year:04d}:"
+        f"{hh:02d}:{mm:02d}:{ss:02d} +0000"
+    )
+    base = (
+        f"{record.host} {record.ident} {record.authuser} [{stamp}] "
+        f'"{record.method} {record.path} {record.protocol}" '
+        f"{record.status} {record.size}"
+    )
+    if record.referer is not None or record.agent is not None:
+        base += f' "{record.referer or "-"}"'
+    if record.agent is not None:
+        base += f' "{record.agent}"'
+    return base
+
+
+def parse_lines(lines: Iterable[str], *, strict: bool = True) -> Iterator[LogRecord]:
+    """Parse an iterable of lines, skipping blanks.
+
+    With ``strict=False``, malformed lines are silently dropped instead of
+    raising (real-world logs routinely contain garbage lines).
+    """
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            yield parse_line(line)
+        except CLFParseError:
+            if strict:
+                raise
+
+
+def read_log(fp: TextIO, *, strict: bool = True) -> list[LogRecord]:
+    """Read an opened log file into a list of records."""
+    return list(parse_lines(fp, strict=strict))
+
+
+def write_log(fp: TextIO, records: Iterable[LogRecord]) -> int:
+    """Write records as CLF lines; returns the number of lines written."""
+    n = 0
+    for rec in records:
+        fp.write(format_line(rec) + "\n")
+        n += 1
+    return n

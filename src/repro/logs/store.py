@@ -1,0 +1,137 @@
+"""Workload persistence: save/load sites and workloads on disk.
+
+A saved workload is a directory of three plain files:
+
+* ``site.json`` — the website model (pages, bundles, links, categories);
+* ``training.log`` — the training log in Common Log Format;
+* ``access.log`` — the evaluation trace re-emitted as CLF.
+
+Everything round-trips through public formats, so saved workloads can
+be consumed by external tools (or by this library's CLI) and real logs
+can be dropped in place of the synthetic ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .clf import read_log, write_log
+from .records import LogRecord
+from .sessions import trace_from_records
+from .site import Category, EmbeddedObject, Page, Website
+from .workloads import Workload
+
+__all__ = [
+    "site_to_dict",
+    "site_from_dict",
+    "save_site",
+    "load_site",
+    "save_workload",
+    "load_workload",
+]
+
+_FORMAT_VERSION = 1
+
+
+def site_to_dict(site: Website) -> dict:
+    """Serialize a website model to plain JSON-able data."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": site.name,
+        "pages": [
+            {
+                "path": p.path,
+                "size": p.size,
+                "dynamic": p.dynamic,
+                "links": list(p.links),
+                "embedded": [
+                    {"path": o.path, "size": o.size} for o in p.embedded
+                ],
+            }
+            for p in site.pages.values()
+        ],
+        "categories": [
+            {
+                "name": c.name,
+                "entry_pages": list(c.entry_pages),
+                "member_pages": list(c.member_pages),
+            }
+            for c in site.categories
+        ],
+    }
+
+
+def site_from_dict(data: dict) -> Website:
+    """Rebuild a website model from :func:`site_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported site format version: {version!r}")
+    pages = [
+        Page(
+            path=p["path"],
+            size=int(p["size"]),
+            dynamic=bool(p.get("dynamic", False)),
+            links=tuple(p.get("links", ())),
+            embedded=tuple(
+                EmbeddedObject(path=o["path"], size=int(o["size"]))
+                for o in p.get("embedded", ())
+            ),
+        )
+        for p in data["pages"]
+    ]
+    categories = [
+        Category(
+            name=c["name"],
+            entry_pages=tuple(c["entry_pages"]),
+            member_pages=tuple(c["member_pages"]),
+        )
+        for c in data.get("categories", ())
+    ]
+    return Website(pages, categories, name=data.get("name", "site"))
+
+
+def save_site(site: Website, path: Path | str) -> None:
+    Path(path).write_text(json.dumps(site_to_dict(site), indent=1))
+
+
+def load_site(path: Path | str) -> Website:
+    return site_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_workload(workload: Workload, directory: Path | str) -> Path:
+    """Write a workload as ``site.json`` + two CLF logs; returns the dir."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_site(workload.site, directory / "site.json")
+    with (directory / "training.log").open("w") as fp:
+        write_log(fp, workload.training_records)
+    eval_records = [
+        LogRecord(host=r.client if r.client != "-" else f"c{r.conn_id}",
+                  timestamp=r.arrival, method="GET", path=r.path,
+                  protocol="HTTP/1.1", status=200, size=r.size)
+        for r in workload.trace
+    ]
+    with (directory / "access.log").open("w") as fp:
+        write_log(fp, eval_records)
+    return directory
+
+
+def load_workload(directory: Path | str, name: str | None = None) -> Workload:
+    """Load a workload saved by :func:`save_workload`.
+
+    CLF stores whole seconds, so sub-second arrival spacing is not
+    preserved exactly; connection/request structure and sizes are.
+    """
+    directory = Path(directory)
+    site = load_site(directory / "site.json")
+    with (directory / "training.log").open() as fp:
+        training = read_log(fp, strict=False)
+    with (directory / "access.log").open() as fp:
+        eval_records = read_log(fp, strict=False)
+    if not eval_records:
+        raise ValueError(f"no evaluation records in {directory}")
+    trace = trace_from_records(eval_records,
+                               name=f"{name or site.name}-eval")
+    return Workload(name=name or site.name, site=site,
+                    training_records=training, trace=trace)

@@ -1,0 +1,27 @@
+"""Web-log mining substrate: popularity, bundles, navigation prediction."""
+
+from .adaptive import IndexPageSuggestion, IndexPageSynthesizer, cooccurrence_counts
+from .association import AprioriMiner, AssociationPredictor, AssociationRule
+from .bundles import BundleMiner, BundleTable
+from .categorize import Categorization, CategoryProfile, UserCategorizer
+from .depgraph import DependencyGraph, Prediction
+from .evaluation import NextPagePredictor, PredictorReport, evaluate_predictor
+from .popularity import PopularityTracker, RankTable
+from .ppm import PPMPredictor
+from .prefetch import PrefetchDecision, PrefetchPredictor, PrefetchStats
+from .reports import SiteUsageReport, analyze_log
+from .sequences import SequenceMiner, SequencePredictor, SequenceRule
+
+__all__ = [
+    "IndexPageSuggestion", "IndexPageSynthesizer", "cooccurrence_counts",
+    "AprioriMiner", "AssociationPredictor", "AssociationRule",
+    "BundleMiner", "BundleTable",
+    "Categorization", "CategoryProfile", "UserCategorizer",
+    "DependencyGraph", "Prediction",
+    "NextPagePredictor", "PredictorReport", "evaluate_predictor",
+    "PopularityTracker", "RankTable",
+    "PPMPredictor",
+    "PrefetchDecision", "PrefetchPredictor", "PrefetchStats",
+    "SiteUsageReport", "analyze_log",
+    "SequenceMiner", "SequencePredictor", "SequenceRule",
+]

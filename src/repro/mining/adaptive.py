@@ -1,0 +1,143 @@
+"""Adaptive-site index synthesis (Perkowitz & Etzioni, §2.2.1).
+
+The paper's related work "developed a clustering algorithm to identify
+web pages that occur together in a single user visit and built an index
+page, which helps the users to effectively navigate the website".  This
+module implements that idea in the PageGather style: a visit
+co-occurrence graph over pages, thresholded and greedily clustered
+(union-find with a size cap), each cluster being a candidate index
+page.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+__all__ = ["IndexPageSuggestion", "cooccurrence_counts", "IndexPageSynthesizer"]
+
+
+def cooccurrence_counts(
+    sequences: Iterable[Sequence[str]],
+) -> Counter[tuple[str, str]]:
+    """How many visits contained each unordered page pair."""
+    counts: Counter[tuple[str, str]] = Counter()
+    for seq in sequences:
+        pages = sorted(set(seq))
+        for a, b in combinations(pages, 2):
+            counts[(a, b)] += 1
+    return counts
+
+
+@dataclass(frozen=True, slots=True)
+class IndexPageSuggestion:
+    """One synthesized index page: its member links and cohesion score."""
+
+    pages: tuple[str, ...]
+    score: float
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._size: dict[str, int] = {}
+
+    def find(self, x: str) -> str:
+        parent = self._parent.setdefault(x, x)
+        self._size.setdefault(x, 1)
+        if parent != x:
+            parent = self.find(parent)
+            self._parent[x] = parent
+        return parent
+
+    def size(self, x: str) -> int:
+        return self._size[self.find(x)]
+
+    def union(self, a: str, b: str) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+
+class IndexPageSynthesizer:
+    """Suggests index pages from visit co-occurrence.
+
+    Parameters
+    ----------
+    min_cooccurrence:
+        Pairs seen in fewer visits are ignored (noise floor).
+    max_cluster_size:
+        Upper bound on links per synthesized index page (a PageGather
+        practicality: giant components make useless indexes).
+    min_cluster_size:
+        Clusters smaller than this are not worth an index page.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_cooccurrence: int = 2,
+        max_cluster_size: int = 12,
+        min_cluster_size: int = 3,
+    ) -> None:
+        if min_cooccurrence < 1:
+            raise ValueError("min_cooccurrence must be >= 1")
+        if not 1 < min_cluster_size <= max_cluster_size:
+            raise ValueError(
+                "need 1 < min_cluster_size <= max_cluster_size"
+            )
+        self.min_cooccurrence = min_cooccurrence
+        self.max_cluster_size = max_cluster_size
+        self.min_cluster_size = min_cluster_size
+
+    def suggest(
+        self,
+        sequences: Sequence[Sequence[str]],
+        k: int = 5,
+    ) -> list[IndexPageSuggestion]:
+        """The top-``k`` index-page candidates, most cohesive first."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        counts = cooccurrence_counts(sequences)
+        edges = sorted(
+            ((n, pair) for pair, n in counts.items()
+             if n >= self.min_cooccurrence),
+            key=lambda e: (-e[0], e[1]),
+        )
+        uf = _UnionFind()
+        kept_edges: list[tuple[int, tuple[str, str]]] = []
+        for weight, (a, b) in edges:
+            # Greedy agglomeration, refusing unions that would exceed
+            # the cluster-size cap.
+            if uf.find(a) == uf.find(b):
+                kept_edges.append((weight, (a, b)))
+                continue
+            if uf.size(a) + uf.size(b) <= self.max_cluster_size:
+                uf.union(a, b)
+                kept_edges.append((weight, (a, b)))
+        clusters: dict[str, set[str]] = {}
+        scores: Counter[str] = Counter()
+        for weight, (a, b) in kept_edges:
+            root = uf.find(a)
+            clusters.setdefault(root, set()).update((a, b))
+            scores[root] += weight
+        suggestions = [
+            IndexPageSuggestion(
+                pages=tuple(sorted(members)),
+                score=float(scores[root]),
+            )
+            for root, members in clusters.items()
+            if len(members) >= self.min_cluster_size
+        ]
+        suggestions.sort(key=lambda s: (-s.score, s.pages))
+        return suggestions[:k]

@@ -1,0 +1,178 @@
+"""Association-rule mining (Apriori) over session itemsets.
+
+One of the two classic web-usage-mining families the paper surveys
+(§2.2.3, [23, 24]): sessions are unordered page *itemsets*; frequent
+itemsets above a support threshold generate rules ``antecedent → page``
+with a confidence.  Included as a predictor comparator (the paper cites
+[21]'s finding that sequence rules beat association rules — our benches
+reproduce that comparison on synthetic traffic).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from .depgraph import Prediction
+
+__all__ = ["AssociationRule", "AprioriMiner", "AssociationPredictor"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """``antecedent → consequent`` with support and confidence."""
+
+    antecedent: frozenset[str]
+    consequent: str
+    support: float
+    confidence: float
+
+
+class AprioriMiner:
+    """Classic Apriori over page sets.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum fraction of sessions containing an itemset.
+    max_itemset_size:
+        Cap on itemset cardinality (rule antecedents are one smaller).
+    """
+
+    def __init__(
+        self, *, min_support: float = 0.02, max_itemset_size: int = 3
+    ) -> None:
+        if not 0.0 < min_support <= 1.0:
+            raise ValueError("min_support must be in (0, 1]")
+        if max_itemset_size < 2:
+            raise ValueError("max_itemset_size must be >= 2")
+        self.min_support = min_support
+        self.max_itemset_size = max_itemset_size
+
+    def frequent_itemsets(
+        self, sessions: Sequence[Iterable[str]]
+    ) -> dict[frozenset[str], float]:
+        """All frequent itemsets with their support."""
+        baskets = [frozenset(s) for s in sessions if s]
+        n = len(baskets)
+        if n == 0:
+            return {}
+        min_count = self.min_support * n
+
+        # L1.
+        item_counts: Counter[str] = Counter()
+        for b in baskets:
+            item_counts.update(b)
+        current = {
+            frozenset([item]): c
+            for item, c in item_counts.items() if c >= min_count
+        }
+        result: dict[frozenset[str], float] = {
+            s: c / n for s, c in current.items()
+        }
+
+        k = 2
+        while current and k <= self.max_itemset_size:
+            # Candidate generation: join frequent (k-1)-itemsets sharing
+            # a (k-2)-prefix, then prune by the Apriori property.
+            prev_sets = list(current)
+            frequent_prev = set(prev_sets)
+            candidates: set[frozenset[str]] = set()
+            sorted_prev = [tuple(sorted(s)) for s in prev_sets]
+            sorted_prev.sort()
+            for i in range(len(sorted_prev)):
+                for j in range(i + 1, len(sorted_prev)):
+                    a, b = sorted_prev[i], sorted_prev[j]
+                    if a[:-1] != b[:-1]:
+                        break
+                    cand = frozenset(a) | frozenset(b)
+                    if len(cand) == k and all(
+                        cand - {x} in frequent_prev for x in cand
+                    ):
+                        candidates.add(cand)
+            if not candidates:
+                break
+            counts: Counter[frozenset[str]] = Counter()
+            for basket in baskets:
+                if len(basket) < k:
+                    continue
+                for cand in candidates:
+                    if cand <= basket:
+                        counts[cand] += 1
+            current = {s: c for s, c in counts.items() if c >= min_count}
+            result.update({s: c / n for s, c in current.items()})
+            k += 1
+        return result
+
+    def rules(
+        self,
+        sessions: Sequence[Iterable[str]],
+        *,
+        min_confidence: float = 0.3,
+    ) -> list[AssociationRule]:
+        """Derive single-consequent rules from the frequent itemsets."""
+        itemsets = self.frequent_itemsets(sessions)
+        rules: list[AssociationRule] = []
+        for itemset, support in itemsets.items():
+            if len(itemset) < 2:
+                continue
+            for consequent in itemset:
+                antecedent = itemset - {consequent}
+                ante_support = itemsets.get(antecedent)
+                if not ante_support:
+                    continue
+                confidence = support / ante_support
+                if confidence >= min_confidence:
+                    rules.append(AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=support,
+                        confidence=confidence,
+                    ))
+        rules.sort(key=lambda r: (-r.confidence, -r.support,
+                                  sorted(r.antecedent), r.consequent))
+        return rules
+
+
+class AssociationPredictor:
+    """Next-page prediction from association rules.
+
+    Given the pages visited so far, fires the highest-confidence rule
+    whose antecedent is contained in the visited set and whose
+    consequent has not been visited yet.
+    """
+
+    def __init__(
+        self,
+        miner: AprioriMiner | None = None,
+        *,
+        min_confidence: float = 0.3,
+    ) -> None:
+        self.miner = miner or AprioriMiner()
+        self.min_confidence = min_confidence
+        self._rules: list[AssociationRule] = []
+
+    def train(
+        self, sequences: Sequence[Sequence[str]]
+    ) -> "AssociationPredictor":
+        self._rules = self.miner.rules(
+            sequences, min_confidence=self.min_confidence
+        )
+        return self
+
+    @property
+    def num_rules(self) -> int:
+        return len(self._rules)
+
+    def predict(self, context: Sequence[str]) -> Prediction | None:
+        visited = set(context)
+        for rule in self._rules:  # pre-sorted by confidence
+            if rule.consequent not in visited and rule.antecedent <= visited:
+                return Prediction(
+                    page=rule.consequent,
+                    confidence=rule.confidence,
+                    context_length=len(rule.antecedent),
+                )
+        return None

@@ -1,0 +1,166 @@
+"""User categorization from navigation paths (§3.1, §4.1).
+
+"The requests from a particular user can be monitored and identified as
+a particular group by correlating the user's current access path and the
+information from the log mining ... The longer the comparison paths are,
+the better the confidence of the predicted category is."
+
+A :class:`CategoryProfile` is a page-frequency fingerprint of one user
+group (current students / faculty / ... on a university site).  Profiles
+come either from the site's declared categories or are mined from logs
+by grouping sessions on their dominant URL section.  The classifier
+scores a live access path against every profile; confidence grows with
+the number of matched pages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..logs.site import Website
+
+__all__ = ["CategoryProfile", "Categorization", "UserCategorizer"]
+
+
+def _section_of(path: str) -> str:
+    """Top-level URL segment: ``/faculty/x.html`` → ``faculty``."""
+    parts = path.strip("/").split("/")
+    return parts[0] if parts and parts[0] else "/"
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryProfile:
+    """One user group's page-visit fingerprint (weights sum to 1)."""
+
+    name: str
+    page_weights: Mapping[str, float]
+
+    def score(self, pages: Sequence[str]) -> float:
+        """Sum of profile weights over the visited pages."""
+        return sum(self.page_weights.get(p, 0.0) for p in pages)
+
+
+@dataclass(frozen=True, slots=True)
+class Categorization:
+    """Classification outcome: the group and how sure we are."""
+
+    category: str
+    confidence: float
+    matched_pages: int
+
+
+class UserCategorizer:
+    """Classifies a user's access path into a mined/declared category.
+
+    Parameters
+    ----------
+    profiles:
+        One profile per user group.
+    min_confidence:
+        Below this, :meth:`classify` reports the fallback ``"unknown"``.
+    """
+
+    UNKNOWN = "unknown"
+
+    def __init__(
+        self,
+        profiles: Sequence[CategoryProfile],
+        *,
+        min_confidence: float = 0.2,
+    ) -> None:
+        if not profiles:
+            raise ValueError("at least one profile is required")
+        names = [p.name for p in profiles]
+        if len(set(names)) != len(names):
+            raise ValueError("profile names must be unique")
+        self.profiles = tuple(profiles)
+        self.min_confidence = min_confidence
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_site(cls, site: Website, **kwargs) -> "UserCategorizer":
+        """Profiles from the site's declared categories (uniform weights)."""
+        profiles = []
+        for cat in site.categories:
+            pages = cat.member_pages
+            if not pages:
+                continue
+            w = 1.0 / len(pages)
+            profiles.append(CategoryProfile(
+                name=cat.name, page_weights={p: w for p in pages}
+            ))
+        if not profiles:
+            raise ValueError("site declares no categories")
+        return cls(profiles, **kwargs)
+
+    @classmethod
+    def mine(
+        cls,
+        sequences: Iterable[Sequence[str]],
+        *,
+        min_sessions: int = 3,
+        **kwargs,
+    ) -> "UserCategorizer":
+        """Mine profiles by grouping sessions on their dominant section.
+
+        Each training session is assigned to the URL section (top path
+        segment) it visited most; sections backing at least
+        ``min_sessions`` sessions become categories whose profile is the
+        normalised page-visit histogram of their sessions.
+        """
+        by_section: dict[str, Counter[str]] = {}
+        session_counts: Counter[str] = Counter()
+        for seq in sequences:
+            if not seq:
+                continue
+            dominant = Counter(_section_of(p) for p in seq).most_common(1)[0][0]
+            by_section.setdefault(dominant, Counter()).update(seq)
+            session_counts[dominant] += 1
+        profiles = []
+        for section, counts in sorted(by_section.items()):
+            if session_counts[section] < min_sessions:
+                continue
+            total = sum(counts.values())
+            profiles.append(CategoryProfile(
+                name=section,
+                page_weights={p: c / total for p, c in counts.items()},
+            ))
+        if not profiles:
+            raise ValueError(
+                "no section reached min_sessions; lower the threshold"
+            )
+        return cls(profiles, **kwargs)
+
+    # -- classification -------------------------------------------------------
+
+    def classify(self, pages: Sequence[str]) -> Categorization:
+        """Classify an access path.
+
+        Confidence is the winning profile's share of the total score,
+        discounted when only a few pages matched any profile — directly
+        encoding "the longer the comparison paths are, the better the
+        confidence".
+        """
+        if not pages:
+            return Categorization(self.UNKNOWN, 0.0, 0)
+        scores = {p.name: p.score(pages) for p in self.profiles}
+        total = sum(scores.values())
+        if total <= 0.0:
+            return Categorization(self.UNKNOWN, 0.0, 0)
+        best = max(scores, key=lambda n: (scores[n], n))
+        matched = sum(
+            1 for page in pages
+            if any(page in p.page_weights for p in self.profiles)
+        )
+        share = scores[best] / total
+        length_factor = min(1.0, matched / 3.0)
+        confidence = share * length_factor
+        if confidence < self.min_confidence:
+            return Categorization(self.UNKNOWN, confidence, matched)
+        return Categorization(best, confidence, matched)
+
+    def category_names(self) -> list[str]:
+        return [p.name for p in self.profiles]

@@ -1,0 +1,83 @@
+"""Predictor evaluation harness.
+
+All next-page predictors in this package (:class:`DependencyGraph`,
+:class:`PPMPredictor`, :class:`SequencePredictor`,
+:class:`AssociationPredictor`) share the duck-typed protocol
+``predict(context) -> Prediction | None``.  This module replays held-out
+navigation sequences through a predictor and reports accuracy/coverage,
+powering the predictor-comparison benches (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from .depgraph import Prediction
+
+__all__ = ["NextPagePredictor", "PredictorReport", "evaluate_predictor"]
+
+
+class NextPagePredictor(Protocol):
+    """Anything that can guess the next page from a visited-page context."""
+
+    def predict(self, context: Sequence[str]) -> Prediction | None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class PredictorReport:
+    """Replay outcome over held-out sequences."""
+
+    steps: int
+    predictions: int
+    correct: int
+    mean_confidence: float
+
+    @property
+    def accuracy(self) -> float:
+        """correct / predictions (0 when the predictor never fired)."""
+        return self.correct / self.predictions if self.predictions else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """predictions / steps — how often the predictor dared to guess."""
+        return self.predictions / self.steps if self.steps else 0.0
+
+    @property
+    def useful_fraction(self) -> float:
+        """correct / steps — accuracy and coverage combined."""
+        return self.correct / self.steps if self.steps else 0.0
+
+
+def evaluate_predictor(
+    predictor: NextPagePredictor,
+    sequences: Sequence[Sequence[str]],
+    *,
+    min_confidence: float = 0.0,
+) -> PredictorReport:
+    """Replay sequences; at each step predict the next page from the prefix.
+
+    Predictions below ``min_confidence`` are discarded (not counted as
+    fired), matching how the prefetcher thresholds Algorithm 2.
+    """
+    steps = 0
+    fired = 0
+    correct = 0
+    conf_sum = 0.0
+    for seq in sequences:
+        seq = list(seq)
+        for i in range(1, len(seq)):
+            steps += 1
+            pred = predictor.predict(seq[:i])
+            if pred is None or pred.confidence < min_confidence:
+                continue
+            fired += 1
+            conf_sum += pred.confidence
+            if pred.page == seq[i]:
+                correct += 1
+    return PredictorReport(
+        steps=steps,
+        predictions=fired,
+        correct=correct,
+        mean_confidence=conf_sum / fired if fired else 0.0,
+    )

@@ -1,0 +1,96 @@
+"""Graph export: render mined structures for human inspection.
+
+The paper's Fig. 3 draws the dependency graph with confidence-labelled
+edges; :func:`depgraph_to_dot` produces the same picture as Graphviz DOT
+text (no external dependency — plain string building), and
+:func:`bundle_table_to_dot` does the page→objects view.  Feed the output
+to ``dot -Tsvg`` or any DOT viewer.
+"""
+
+from __future__ import annotations
+
+from .bundles import BundleTable
+from .depgraph import DependencyGraph
+
+__all__ = ["depgraph_to_dot", "bundle_table_to_dot"]
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def depgraph_to_dot(
+    graph: DependencyGraph,
+    *,
+    min_confidence: float = 0.05,
+    max_nodes: int = 100,
+    title: str = "dependency graph",
+) -> str:
+    """Render first-order edges with confidence labels (Fig. 3 style).
+
+    Nodes are capped at ``max_nodes`` (highest out-degree first) and
+    edges below ``min_confidence`` are dropped, so large graphs stay
+    readable.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in [0, 1]")
+    if max_nodes < 1:
+        raise ValueError("max_nodes must be >= 1")
+    pages = sorted(
+        (p for p in _all_pages(graph)),
+        key=lambda p: (-len(graph.links_from(p)), p),
+    )[:max_nodes]
+    keep = set(pages)
+    lines = [
+        "digraph depgraph {",
+        f"  label={_quote(title)};",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=10];',
+    ]
+    for page in pages:
+        lines.append(f"  {_quote(page)};")
+    for page in pages:
+        for target, conf in sorted(graph.edge_confidences(page).items()):
+            if conf < min_confidence or target not in keep:
+                continue
+            lines.append(
+                f"  {_quote(page)} -> {_quote(target)} "
+                f'[label="{conf:.0%}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _all_pages(graph: DependencyGraph) -> set[str]:
+    pages: set[str] = set()
+    for page in list(graph._links):  # noqa: SLF001 - same-package view
+        pages.add(page)
+        pages.update(graph._links[page])
+    return pages
+
+
+def bundle_table_to_dot(
+    table: BundleTable,
+    *,
+    max_pages: int = 50,
+    title: str = "page bundles",
+) -> str:
+    """Render mined bundles as a bipartite page→object graph."""
+    if max_pages < 1:
+        raise ValueError("max_pages must be >= 1")
+    pages = sorted(
+        table.pages(), key=lambda p: (-len(table.objects_of(p)), p)
+    )[:max_pages]
+    lines = [
+        "digraph bundles {",
+        f"  label={_quote(title)};",
+        "  rankdir=LR;",
+        '  node [fontsize=10];',
+    ]
+    for page in pages:
+        lines.append(f"  {_quote(page)} [shape=box];")
+        for obj in table.objects_of(page):
+            lines.append(f"  {_quote(obj)} [shape=ellipse];")
+            lines.append(f"  {_quote(page)} -> {_quote(obj)};")
+    lines.append("}")
+    return "\n".join(lines)

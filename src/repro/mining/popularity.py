@@ -1,0 +1,149 @@
+"""Popularity mining: rank tables from offline logs + online tracking.
+
+The paper ranks web pages by request counts "two-fold": offline analysis
+of historical logs and "dynamic online tracking of the page hits to
+obtain the realistic estimate" (§3.2).  :class:`RankTable` is the offline
+artifact; :class:`PopularityTracker` merges it with an exponentially
+decayed online counter so recent traffic shifts re-rank files, which is
+what drives the replication engine (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping
+
+from ..logs.records import LogRecord
+
+__all__ = ["RankTable", "PopularityTracker"]
+
+
+class RankTable:
+    """Immutable ranking of paths by hit count.
+
+    ``rank(path)`` returns a score in ``(0, 1]`` — the path's hit count
+    normalised by the maximum hit count — so Algorithm 3's thresholds
+    (``T1``, fractions of ``T1``) can be expressed scale-free.
+    Unknown paths rank 0.
+    """
+
+    def __init__(self, counts: Mapping[str, int]) -> None:
+        self._counts: dict[str, int] = {
+            p: int(c) for p, c in counts.items() if c > 0
+        }
+        self._max = max(self._counts.values(), default=0)
+
+    @classmethod
+    def from_records(cls, records: Iterable[LogRecord]) -> "RankTable":
+        """Count hits per path over successful log entries."""
+        counts: Counter[str] = Counter(
+            r.path for r in records if r.is_success()
+        )
+        return cls(counts)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str]) -> "RankTable":
+        return cls(Counter(paths))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._counts
+
+    def count(self, path: str) -> int:
+        return self._counts.get(path, 0)
+
+    def rank(self, path: str) -> float:
+        """Normalised popularity in [0, 1] (1 = most-hit path)."""
+        if self._max == 0:
+            return 0.0
+        return self._counts.get(path, 0) / self._max
+
+    def top(self, n: int) -> list[tuple[str, int]]:
+        """The ``n`` most popular (path, count) pairs, ties by path."""
+        return sorted(
+            self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:n]
+
+    def items(self) -> list[tuple[str, int]]:
+        return list(self._counts.items())
+
+    def merged_with(self, other: "RankTable", weight: float = 1.0) -> "RankTable":
+        """A new table adding ``other``'s counts scaled by ``weight``."""
+        merged: Counter[str] = Counter(self._counts)
+        for p, c in other._counts.items():
+            merged[p] += int(round(c * weight))
+        return RankTable(merged)
+
+
+class PopularityTracker:
+    """Online popularity with exponential decay over an offline prior.
+
+    Hit counts decay with half-life ``half_life`` seconds, so files that
+    *were* hot but cooled off sink in the ranking — the "recent history"
+    dynamic log mining of Algorithm 3.  The offline :class:`RankTable`
+    seeds the counts (scaled by ``prior_weight``) so the tracker is
+    useful from the first request.
+    """
+
+    def __init__(
+        self,
+        prior: RankTable | None = None,
+        *,
+        half_life: float = 60.0,
+        prior_weight: float = 1.0,
+    ) -> None:
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+        self._lambda = math.log(2.0) / half_life
+        self._scores: dict[str, float] = {}
+        self._last_update: float = 0.0
+        if prior is not None and len(prior) > 0:
+            top_count = prior.top(1)[0][1]
+            for path, count in prior.items():
+                self._scores[path] = prior_weight * count / top_count
+
+    def _decay_to(self, now: float) -> None:
+        if now < self._last_update:
+            raise ValueError("time must not run backwards")
+        dt = now - self._last_update
+        if dt > 0 and self._scores:
+            factor = math.exp(-self._lambda * dt)
+            for path in self._scores:
+                self._scores[path] *= factor
+        self._last_update = now
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def record(self, path: str, now: float) -> None:
+        """Register one hit on ``path`` at simulation time ``now``."""
+        self._decay_to(now)
+        self._scores[path] = self._scores.get(path, 0.0) + 1.0
+
+    def rank(self, path: str) -> float:
+        """Normalised popularity in [0, 1] at the last update time."""
+        if not self._scores:
+            return 0.0
+        peak = max(self._scores.values())
+        if peak <= 0:
+            return 0.0
+        return self._scores.get(path, 0.0) / peak
+
+    def snapshot(self) -> RankTable:
+        """Freeze current scores into a :class:`RankTable` (scaled ints)."""
+        if not self._scores:
+            return RankTable({})
+        scale = 1_000_000 / max(self._scores.values())
+        return RankTable({
+            p: max(1, int(s * scale)) for p, s in self._scores.items()
+            if s > 0
+        })
+
+    def top(self, n: int) -> list[tuple[str, float]]:
+        return sorted(
+            self._scores.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:n]

@@ -1,0 +1,151 @@
+"""Website-usage analysis reports (the §2.2 web-log-mining toolbox).
+
+The paper's related work (WUM, Srivastava et al.) analyses logs for
+"user browsing pattern, general website organization and other website
+statistics".  :func:`analyze_log` produces exactly that summary for any
+Common-Log-Format input — the report a site operator would read before
+deciding whether PRORD's mining has structure to exploit.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..logs.records import LogRecord
+from ..logs.sessions import (
+    DEFAULT_SESSION_TIMEOUT,
+    Session,
+    looks_dynamic,
+    looks_embedded,
+    sessionize,
+)
+
+__all__ = ["SiteUsageReport", "analyze_log"]
+
+
+def _section_of(path: str) -> str:
+    parts = path.strip("/").split("/")
+    return parts[0] if parts and parts[0] else "/"
+
+
+@dataclass(frozen=True, slots=True)
+class SiteUsageReport:
+    """Aggregate web-usage statistics for one log."""
+
+    requests: int
+    bytes_served: int
+    distinct_files: int
+    distinct_clients: int
+    sessions: int
+    mean_session_requests: float
+    mean_session_duration_s: float
+    embedded_fraction: float
+    dynamic_fraction: float
+    error_fraction: float
+    top_pages: tuple[tuple[str, int], ...]
+    top_entry_pages: tuple[tuple[str, int], ...]
+    top_exit_pages: tuple[tuple[str, int], ...]
+    section_share: tuple[tuple[str, float], ...]
+    hourly_requests: tuple[int, ...]  # 24 buckets, UTC
+
+    @property
+    def peak_hour(self) -> int:
+        """UTC hour with the most requests."""
+        return max(range(24), key=lambda h: self.hourly_requests[h])
+
+    def format(self) -> str:
+        """Render the report as readable text."""
+        lines = [
+            "Site usage report",
+            "=================",
+            f"requests:          {self.requests}",
+            f"bytes served:      {self.bytes_served / (1 << 20):.1f} MB",
+            f"distinct files:    {self.distinct_files}",
+            f"distinct clients:  {self.distinct_clients}",
+            f"sessions:          {self.sessions} "
+            f"(mean {self.mean_session_requests:.1f} requests, "
+            f"{self.mean_session_duration_s:.0f} s)",
+            f"embedded objects:  {self.embedded_fraction:.0%} of requests",
+            f"dynamic content:   {self.dynamic_fraction:.0%} of requests",
+            f"errors:            {self.error_fraction:.1%} of requests",
+            f"peak hour (UTC):   {self.peak_hour:02d}:00",
+            "",
+            "top pages:",
+        ]
+        lines += [f"  {n:7d}  {p}" for p, n in self.top_pages]
+        lines.append("top entry pages:")
+        lines += [f"  {n:7d}  {p}" for p, n in self.top_entry_pages]
+        lines.append("top exit pages:")
+        lines += [f"  {n:7d}  {p}" for p, n in self.top_exit_pages]
+        lines.append("traffic by section:")
+        lines += [f"  {share:6.1%}  /{s}" for s, share in self.section_share]
+        return "\n".join(lines)
+
+
+def analyze_log(
+    records: Iterable[LogRecord],
+    *,
+    timeout: float = DEFAULT_SESSION_TIMEOUT,
+    top: int = 10,
+) -> SiteUsageReport:
+    """Compute a :class:`SiteUsageReport` over raw log records."""
+    records = list(records)
+    if not records:
+        raise ValueError("empty log")
+    requests = len(records)
+    bytes_served = sum(r.size for r in records if r.is_success())
+    files = {r.path for r in records}
+    clients = {r.host for r in records}
+    errors = sum(1 for r in records if not r.is_success())
+    embedded = sum(1 for r in records if looks_embedded(r.path))
+    dynamic = sum(1 for r in records if looks_dynamic(r.path))
+
+    page_hits: Counter[str] = Counter(
+        r.path for r in records
+        if r.is_success() and not looks_embedded(r.path)
+    )
+    section_hits: Counter[str] = Counter(
+        _section_of(r.path) for r in records if r.is_success()
+    )
+    hourly = [0] * 24
+    for r in records:
+        hourly[int(_time.gmtime(r.timestamp).tm_hour)] += 1
+
+    sessions = sessionize(records, timeout=timeout)
+    entries: Counter[str] = Counter()
+    exits: Counter[str] = Counter()
+    total_dur = 0.0
+    total_reqs = 0
+    for s in sessions:
+        pages = s.page_paths()
+        if pages:
+            entries[pages[0]] += 1
+            exits[pages[-1]] += 1
+        total_dur += s.duration
+        total_reqs += len(s)
+
+    total_section = sum(section_hits.values()) or 1
+    n_sessions = len(sessions)
+    return SiteUsageReport(
+        requests=requests,
+        bytes_served=bytes_served,
+        distinct_files=len(files),
+        distinct_clients=len(clients),
+        sessions=n_sessions,
+        mean_session_requests=total_reqs / n_sessions if n_sessions else 0.0,
+        mean_session_duration_s=total_dur / n_sessions if n_sessions else 0.0,
+        embedded_fraction=embedded / requests,
+        dynamic_fraction=dynamic / requests,
+        error_fraction=errors / requests,
+        top_pages=tuple(page_hits.most_common(top)),
+        top_entry_pages=tuple(entries.most_common(top)),
+        top_exit_pages=tuple(exits.most_common(top)),
+        section_share=tuple(
+            (s, n / total_section)
+            for s, n in section_hits.most_common(top)
+        ),
+        hourly_requests=tuple(hourly),
+    )

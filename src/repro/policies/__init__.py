@@ -1,0 +1,17 @@
+"""Request-distribution policies: WRR, LARD(+R), Ext-LARD-PHTTP, PRORD."""
+
+from .base import ClusterView, Policy, PrefetchDirective, RoutingDecision
+from .extlard import ExtLARDPolicy
+from .lard import LARDPolicy, LARDReplicationPolicy
+from .prord import PRORDComponents, PRORDFeatures, PRORDPolicy
+from .replication import ReplicationEngine
+from .wrr import WRRPolicy
+
+__all__ = [
+    "ClusterView", "Policy", "PrefetchDirective", "RoutingDecision",
+    "ExtLARDPolicy",
+    "LARDPolicy", "LARDReplicationPolicy",
+    "PRORDComponents", "PRORDFeatures", "PRORDPolicy",
+    "ReplicationEngine",
+    "WRRPolicy",
+]

@@ -1,0 +1,138 @@
+"""Distribution-policy interface.
+
+A policy answers one question per request: *which backend serves it*,
+plus whether answering required contacting the dispatcher (the paper's
+"dispatch", Fig. 6) and which proactive prefetches should be kicked off.
+Connection-level cost accounting (setup latency, TCP handoffs) is the
+cluster's job — it knows each connection's previous server — so policies
+stay purely about placement.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
+
+from ..core.config import SimulationParams
+from ..logs.records import Request
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only (avoids a cycle)
+    from ..sim.frontend import Dispatcher
+    from ..sim.server import BackendServer
+
+__all__ = ["PrefetchDirective", "RoutingDecision", "ClusterView", "Policy"]
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchDirective:
+    """Ask ``server_id`` to pull ``path`` into memory proactively."""
+
+    server_id: int
+    path: str
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingDecision:
+    """The outcome of routing one request.
+
+    Attributes
+    ----------
+    server_id:
+        Backend chosen to serve the request.
+    dispatched:
+        True when the distributor contacted the dispatcher (counted for
+        Fig. 6 and billed ``dispatch_us`` of front-end CPU).
+    forwarded:
+        Backend-forwarding mode (Ext-LARD variant): the request is
+        served by ``server_id`` but relayed through the connection's
+        bound backend over the interconnect, so the cluster bills a
+        relay transmission instead of a TCP handoff.
+    prefetches:
+        Proactive reads to start right away.
+    """
+
+    server_id: int
+    dispatched: bool = False
+    forwarded: bool = False
+    prefetches: tuple[PrefetchDirective, ...] = ()
+
+
+class ClusterView(Protocol):
+    """What a policy may observe of the cluster (read-only)."""
+
+    @property
+    def servers(self) -> Sequence["BackendServer"]: ...
+
+    @property
+    def dispatcher(self) -> "Dispatcher": ...
+
+    @property
+    def params(self) -> SimulationParams: ...
+
+    @property
+    def catalog(self) -> Mapping[str, int]: ...
+
+    @property
+    def now(self) -> float: ...
+
+
+class Policy(ABC):
+    """Base class for request-distribution policies.
+
+    Subclasses set :attr:`name` and implement :meth:`route`.
+    ``persistent_connections`` declares the connection semantics: when
+    False (HTTP/1.0-style), the cluster bills a connection setup and a
+    TCP handoff for *every* request; when True, setup is billed once per
+    connection and a handoff only when the serving backend changes.
+    """
+
+    name: str = "policy"
+    persistent_connections: bool = True
+
+    def __init__(self) -> None:
+        self._cluster: ClusterView | None = None
+
+    def bind(self, cluster: ClusterView) -> None:
+        """Attach to a cluster before the run starts."""
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> ClusterView:
+        if self._cluster is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound to a cluster")
+        return self._cluster
+
+    @abstractmethod
+    def route(self, request: Request) -> RoutingDecision:
+        """Pick the backend for ``request``."""
+
+    def on_complete(self, request: Request, server_id: int, hit: bool) -> None:
+        """Called when a request finishes (optional hook)."""
+
+    def on_connection_close(self, conn_id: int) -> None:
+        """Called after the last request of a connection completes."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def least_loaded(self, candidates: Sequence[int] | None = None) -> int:
+        """Lowest-load *available* server id (ties to the lowest id).
+
+        Crashed backends are excluded; if every candidate is down the
+        least-loaded candidate is returned anyway (the request will
+        queue until recovery rather than be dropped).
+        """
+        servers = self.cluster.servers
+        pool = list(range(len(servers)) if candidates is None else candidates)
+        if not pool:
+            raise ValueError("no candidate servers")
+        alive = [i for i in pool if servers[i].up]
+        return min(alive or pool, key=lambda i: (servers[i].load, i))
+
+    def server_up(self, server_id: int) -> bool:
+        """Whether a backend is currently available."""
+        return self.cluster.servers[server_id].up
+
+    def size_of(self, path: str) -> int:
+        """File size from the trace catalog (1 byte when unknown)."""
+        return self.cluster.catalog.get(path, 1)

@@ -1,0 +1,85 @@
+"""LARD extended for persistent HTTP (Ext-LARD-PHTTP).
+
+The paper's §2.1.1 surveys the two known ways to keep LARD's locality
+under HTTP/1.1 (Aron et al., USENIX'99), both of which it uses as the
+``Ext-LARD-PHTTP`` baseline:
+
+* **multiple TCP handoffs** (``mode="handoff"``, default): LARD is
+  applied to every request of a persistent connection; whenever the
+  target backend differs from the connection's current backend, the
+  connection is handed off (200 µs each time);
+* **back-end forwarding** (``mode="forwarding"``): the connection is
+  handed off once; requests whose content lives elsewhere are served by
+  the remote backend and the response relayed over the interconnect.
+
+Both "suffer from high overhead", which is what PRORD removes.
+"""
+
+from __future__ import annotations
+
+from ..logs.records import Request
+from .base import Policy, RoutingDecision
+
+__all__ = ["ExtLARDPolicy"]
+
+
+class ExtLARDPolicy(Policy):
+    """LARD under persistent connections, per-request locality."""
+
+    persistent_connections = True
+
+    MODES = ("handoff", "forwarding")
+
+    def __init__(self, mode: str = "handoff") -> None:
+        super().__init__()
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}")
+        self.mode = mode
+        self.name = (
+            "ext-lard-phttp" if mode == "handoff" else "ext-lard-fwd"
+        )
+        self._assignment: dict[str, int] = {}
+        self._conn_server: dict[int, int] = {}
+
+    def _lard_target(self, path: str) -> int:
+        servers = self.cluster.servers
+        params = self.cluster.params
+        target = self._assignment.get(path)
+        if target is not None and not servers[target].up:
+            target = None
+        if target is not None:
+            load = servers[target].load
+            if load > 2 * params.lard_t_high or (
+                load > params.lard_t_high
+                and any(s.load < params.lard_t_low for s in servers)
+            ):
+                target = None
+        if target is None:
+            target = self.least_loaded()
+            self._assignment[path] = target
+        return target
+
+    def route(self, request: Request) -> RoutingDecision:
+        target = self._lard_target(request.path)
+        bound = self._conn_server.get(request.conn_id)
+        if bound is None:
+            # First request: the connection is handed off to the target.
+            self._conn_server[request.conn_id] = target
+            return RoutingDecision(server_id=target, dispatched=True)
+        if self.mode == "handoff":
+            if target != bound:
+                self._conn_server[request.conn_id] = target
+            return RoutingDecision(server_id=target, dispatched=True)
+        # Forwarding mode: connection stays at `bound`; remote content is
+        # served remotely and relayed.  A crashed bound backend forces a
+        # rebind (the client reconnects through the switch).
+        if not self.cluster.servers[bound].up:
+            self._conn_server[request.conn_id] = target
+            return RoutingDecision(server_id=target, dispatched=True)
+        if target == bound:
+            return RoutingDecision(server_id=target, dispatched=True)
+        return RoutingDecision(server_id=target, dispatched=True,
+                               forwarded=True)
+
+    def on_connection_close(self, conn_id: int) -> None:
+        self._conn_server.pop(conn_id, None)

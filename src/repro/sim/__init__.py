@@ -1,0 +1,27 @@
+"""Cluster simulator substrate: engine, servers, front end, metrics."""
+
+from .cache import CacheEntry, LRUCache
+from .closedloop import ClosedLoopDriver, run_closed_loop
+from .cluster import ClusterSimulator, Replicator, SimulationResult
+from .engine import PRIORITY_DEMAND, PRIORITY_PREFETCH, Resource, Simulator
+from .failures import Failure, FailureSchedule
+from .frontend import ConnectionState, Dispatcher
+from .gdsf import GDSFCache, PredictiveGDSFCache, make_cache
+from .power import PowerManager, PowerReport
+from .server import BackendServer
+from .stats import CompletionRecord, MetricsCollector, SimulationReport
+from .tracing import RequestTracer, TraceEvent
+
+__all__ = [
+    "CacheEntry", "LRUCache",
+    "ClosedLoopDriver", "run_closed_loop",
+    "ClusterSimulator", "Replicator", "SimulationResult",
+    "PRIORITY_DEMAND", "PRIORITY_PREFETCH", "Resource", "Simulator",
+    "Failure", "FailureSchedule",
+    "ConnectionState", "Dispatcher",
+    "GDSFCache", "PredictiveGDSFCache", "make_cache",
+    "PowerManager", "PowerReport",
+    "BackendServer",
+    "CompletionRecord", "MetricsCollector", "SimulationReport",
+    "RequestTracer", "TraceEvent",
+]

@@ -1,0 +1,190 @@
+"""Byte-capacity LRU cache modelling a backend server's file memory.
+
+The paper's backends hold "the amount of website's data that can be
+accommodated in the backend servers' memory" (Fig. 8 sweeps this).  The
+cache is LRU over whole files with
+
+* **pinning** — replicated hot files (Algorithm 3) can be pinned so
+  ordinary churn does not evict them before the next replication round;
+* **event callbacks** — the front-end dispatcher's locality table tracks
+  which servers hold which files by subscribing to insert/evict events,
+  exactly as LARD's dispatcher tracks server sets per target.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["CacheEntry", "LRUCache"]
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    size: int
+    pinned: bool = False
+
+
+class LRUCache:
+    """LRU over named files with a byte capacity.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total bytes the cache may hold.
+    on_insert / on_evict:
+        Optional callbacks ``fn(path)`` fired when a file enters/leaves.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        on_insert: Callable[[str], None] | None = None,
+        on_evict: Callable[[str], None] | None = None,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._resident = 0
+        self._pinned_bytes = 0
+        self.on_insert = on_insert
+        self.on_evict = on_evict
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident
+
+    @property
+    def pinned_bytes(self) -> int:
+        return self._pinned_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def peek(self, path: str) -> bool:
+        """Presence check without touching recency or hit counters."""
+        return path in self._entries
+
+    # -- operations ---------------------------------------------------------
+
+    def access(self, path: str) -> bool:
+        """Demand access: returns hit/miss and refreshes recency."""
+        entry = self._entries.get(path)
+        if entry is None:
+            self.misses += 1
+            return False
+        self._entries.move_to_end(path)
+        self.hits += 1
+        return True
+
+    def insert(self, path: str, size: int, *, pinned: bool = False) -> list[str]:
+        """Bring a file into memory, evicting LRU files as needed.
+
+        Returns the list of evicted paths.  A file larger than the
+        unpinned capacity is not cached (real servers stream such files).
+        Re-inserting an existing file refreshes recency and may change
+        its pinned state.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        existing = self._entries.get(path)
+        if existing is not None:
+            if existing.size != size:
+                raise ValueError(
+                    f"size mismatch for {path!r}: {existing.size} != {size}"
+                )
+            if pinned != existing.pinned:
+                self._pinned_bytes += size if pinned else -size
+                existing.pinned = pinned
+            self._entries.move_to_end(path)
+            return []
+        if size > self.capacity_bytes - self._pinned_bytes:
+            return []  # cannot fit without evicting pinned data
+        evicted: list[str] = []
+        while self._resident + size > self.capacity_bytes:
+            victim = self._next_victim()
+            if victim is None:
+                return evicted  # only pinned files left; give up
+            self._remove(victim)
+            evicted.append(victim)
+            self.evictions += 1
+            if self.on_evict:
+                self.on_evict(victim)
+        self._entries[path] = CacheEntry(size=size, pinned=pinned)
+        self._resident += size
+        if pinned:
+            self._pinned_bytes += size
+        if self.on_insert:
+            self.on_insert(path)
+        return evicted
+
+    def _next_victim(self) -> str | None:
+        for path, entry in self._entries.items():  # LRU order
+            if not entry.pinned:
+                return path
+        return None
+
+    def _remove(self, path: str) -> None:
+        entry = self._entries.pop(path)
+        self._resident -= entry.size
+        if entry.pinned:
+            self._pinned_bytes -= entry.size
+
+    def evict(self, path: str) -> bool:
+        """Explicitly drop a file (used by replication re-tiering)."""
+        if path not in self._entries:
+            return False
+        self._remove(path)
+        self.evictions += 1
+        if self.on_evict:
+            self.on_evict(path)
+        return True
+
+    def pin(self, path: str) -> bool:
+        """Pin a resident file; returns False if absent."""
+        entry = self._entries.get(path)
+        if entry is None:
+            return False
+        if not entry.pinned:
+            entry.pinned = True
+            self._pinned_bytes += entry.size
+        return True
+
+    def unpin(self, path: str) -> bool:
+        entry = self._entries.get(path)
+        if entry is None:
+            return False
+        if entry.pinned:
+            entry.pinned = False
+            self._pinned_bytes -= entry.size
+        return True
+
+    def unpin_all(self) -> int:
+        """Unpin everything (start of a replication round); returns count."""
+        n = 0
+        for entry in self._entries.values():
+            if entry.pinned:
+                entry.pinned = False
+                n += 1
+        self._pinned_bytes = 0
+        return n
+
+    def contents(self) -> list[str]:
+        """Resident paths, LRU-first."""
+        return list(self._entries)

@@ -1,0 +1,394 @@
+"""The cluster simulator: trace in, :class:`SimulationResult` out.
+
+Models the paper's Fig. 5 pipeline.  Each request pays, in order:
+
+1. **front-end CPU** — request parsing, plus a dispatcher lookup when the
+   policy dispatched (this station saturating is the distributor
+   bottleneck §4.2 worries about);
+2. **connection costs** — connection setup (150 µs) for the first
+   request of a connection (every request under HTTP/1.0-style
+   policies), and a TCP handoff (200 µs) whenever the serving backend
+   changes (every request for non-persistent policies);
+3. **backend** — CPU, cache/disk, NIC (see
+   :class:`~repro.sim.server.BackendServer`).
+
+The trace is replayed open-loop at its recorded timestamps (the paper's
+simulator is trace-driven); compress a trace with ``Trace.scaled`` to
+raise offered load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Protocol, runtime_checkable
+
+from ..core.config import SimulationParams
+from ..logs.records import Request, Trace
+from ..policies.base import Policy, RoutingDecision
+from .engine import Resource, Simulator
+from .frontend import ConnectionState, Dispatcher
+from .power import PowerManager, PowerReport
+from .server import BackendServer
+from .stats import MetricsCollector, SimulationReport
+from .failures import FailureSchedule
+from .tracing import RequestTracer
+
+__all__ = ["Replicator", "SimulationResult", "ClusterSimulator"]
+
+
+@runtime_checkable
+class Replicator(Protocol):
+    """Optional popularity-driven replication engine (Algorithm 3)."""
+
+    def bind(self, cluster: "ClusterSimulator") -> None: ...
+    def start(self) -> None: ...
+    def observe(self, path: str, now: float) -> None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Everything a run produced."""
+
+    policy_name: str
+    trace_name: str
+    n_backends: int
+    report: SimulationReport
+    power: PowerReport
+    frontend_utilization: float
+    server_utilizations: tuple[dict[str, float], ...]
+    warmup_until: float
+    dispatcher_lookups: int
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.report.throughput_rps
+
+    @property
+    def mean_response_s(self) -> float:
+        return self.report.mean_response_s
+
+    @property
+    def hit_rate(self) -> float:
+        return self.report.hit_rate
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy_name:>18s} on {self.trace_name}: "
+            f"{self.report.row()}"
+        )
+
+
+class ClusterSimulator:
+    """One simulated run of a distribution policy over a trace.
+
+    Parameters
+    ----------
+    trace:
+        Evaluation trace (arrival times set the offered load).
+    policy:
+        A bound-on-construction :class:`~repro.policies.base.Policy`.
+    params:
+        Cost model (defaults to Table 1).
+    replicator:
+        Optional Algorithm-3 engine; it is bound, fed every request for
+        popularity tracking, and started with the run.
+    warmup_fraction:
+        Leading fraction of the trace excluded from the report's
+        response/throughput/hit statistics (cold-cache compulsory misses
+        are not what the paper's steady-state figures show).
+    """
+
+    def __init__(
+        self,
+        trace: Trace | None,
+        policy: Policy,
+        params: SimulationParams | None = None,
+        *,
+        replicator: Replicator | None = None,
+        warmup_fraction: float = 0.1,
+        window_s: float | None = None,
+        tracer: "RequestTracer | None" = None,
+        catalog: Mapping[str, int] | None = None,
+        failures: "FailureSchedule | None" = None,
+        future_weights: Mapping[str, float] | None = None,
+    ) -> None:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if window_s is not None and window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if trace is not None and len(trace) == 0:
+            raise ValueError("trace is empty")
+        if trace is None:
+            # Injection mode: a driver (e.g. the closed-loop client
+            # population) feeds requests via :meth:`inject`.
+            if catalog is None:
+                raise ValueError("injection mode requires a catalog")
+            if window_s is None:
+                raise ValueError("injection mode requires window_s")
+        self.sim = Simulator()
+        self.params = params or SimulationParams()
+        self.policy = policy
+        self.trace = trace
+        self.warmup_fraction = warmup_fraction
+        #: Throughput measurement window (seconds from trace start).
+        #: Defaults to the trace duration; experiments applying a
+        #: sustained load for T seconds pass that T so the drain tail
+        #: does not count toward throughput.
+        self.window_s = (window_s if window_s is not None
+                         else trace.duration)
+        self.dispatcher = Dispatcher()
+        self.metrics = MetricsCollector(self.params.n_backends)
+        self._catalog: Mapping[str, int] = (
+            trace.catalog if trace is not None else dict(catalog)
+        )
+        self.servers: list[BackendServer] = [
+            BackendServer(
+                self.sim, i, self.params,
+                on_cache_insert=self.dispatcher.on_insert,
+                on_cache_evict=self.dispatcher.on_evict,
+                future_weights=(dict(future_weights)
+                                if future_weights else None),
+            )
+            for i in range(self.params.n_backends)
+        ]
+        # One or more distributor nodes behind a layer-4 switch (Aron et
+        # al.'s decentralised design when n_frontends > 1): each
+        # connection is pinned to one distributor by hash, as a content-
+        # blind switch would do.
+        self.frontends: list[Resource] = [
+            Resource(self.sim, f"frontend{i}")
+            for i in range(self.params.n_frontends)
+        ]
+        self.frontend_cpu = self.frontends[0]
+        self.power = PowerManager(self.sim, self.params, self.servers)
+        self.replicator = replicator
+        self._connections: dict[int, ConnectionState] = {}
+        self._remaining_per_conn: dict[int, int] = {}
+        #: injection mode: connections close only on close_connection()
+        self._explicit_close = trace is None
+        self._closing: set[int] = set()
+        self._inject_callbacks: dict[int, object] = {}
+        if trace is not None:
+            for r in trace:
+                self._remaining_per_conn[r.conn_id] = (
+                    self._remaining_per_conn.get(r.conn_id, 0) + 1
+                )
+            self._t0 = trace[0].arrival
+        else:
+            self._t0 = 0.0
+        self._ran = False
+        self.tracer = tracer
+        self.failures = failures
+        if failures is not None:
+            failures.install(self)
+        policy.bind(self)
+        if replicator is not None:
+            replicator.bind(self)
+
+    # -- ClusterView protocol ----------------------------------------------
+
+    @property
+    def catalog(self) -> Mapping[str, int]:
+        return self._catalog
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Replay the whole trace and drain the system."""
+        if self.trace is None:
+            raise RuntimeError(
+                "injection-mode cluster: drive it via inject() and call "
+                "result() when the calendar drains"
+            )
+        if self._ran:
+            raise RuntimeError("a ClusterSimulator instance runs once")
+        self._ran = True
+        for req in self.trace:
+            rel = replace(req, arrival=req.arrival - self._t0)
+            self.sim.schedule_at(rel.arrival, self._make_arrival(rel))
+        if self.replicator is not None:
+            self.replicator.start()
+        self.sim.run()
+        return self._result()
+
+    # -- injection mode (closed-loop drivers) --------------------------------
+
+    def inject(self, req: Request, on_complete=None) -> None:
+        """Present one request to the front end *now* (injection mode).
+
+        ``req.arrival`` should equal the current simulation time; the
+        connection stays open until :meth:`close_connection`.
+        ``on_complete(server_id, hit)`` fires when the response is done —
+        closed-loop drivers use it to pace the next request.
+        """
+        self._remaining_per_conn[req.conn_id] = (
+            self._remaining_per_conn.get(req.conn_id, 0) + 1
+        )
+        if on_complete is not None:
+            self._inject_callbacks[id(req)] = on_complete
+        self._on_arrival(req)
+
+    def close_connection(self, conn_id: int) -> None:
+        """Declare a connection finished (injection mode).
+
+        The policy's close hook fires once all of the connection's
+        in-flight requests complete.
+        """
+        if self._remaining_per_conn.get(conn_id, 0) == 0:
+            self.policy.on_connection_close(conn_id)
+            self._connections.pop(conn_id, None)
+            self._closing.discard(conn_id)
+        else:
+            self._closing.add(conn_id)
+
+    def result(self) -> SimulationResult:
+        """Assemble the result (injection mode, after the run drains)."""
+        return self._result()
+
+    def _make_arrival(self, req: Request):
+        def arrival() -> None:
+            self._on_arrival(req)
+        return arrival
+
+    def _conn_state(self, conn_id: int) -> ConnectionState:
+        state = self._connections.get(conn_id)
+        if state is None:
+            state = ConnectionState(conn_id=conn_id)
+            self._connections[conn_id] = state
+        return state
+
+    def _on_arrival(self, req: Request) -> None:
+        if self.replicator is not None:
+            self.replicator.observe(req.path, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "arrival", req.conn_id, req.path,
+                             embedded=req.is_embedded, dynamic=req.dynamic)
+        decision = self.policy.route(req)
+        if not 0 <= decision.server_id < len(self.servers):
+            raise ValueError(
+                f"policy routed to unknown server {decision.server_id}"
+            )
+        conn = self._conn_state(req.conn_id)
+        relay = decision.forwarded and conn.server_id is not None
+        if self.policy.persistent_connections:
+            setup = conn.requests_seen == 0
+            handoff = conn.server_id != decision.server_id and not relay
+        else:
+            # HTTP/1.0-style: every request is its own connection and
+            # gets its own handoff.
+            setup = True
+            handoff = True
+        if decision.dispatched:
+            self.metrics.count_dispatch()
+        if setup:
+            self.metrics.count_connection()
+        if handoff:
+            self.metrics.count_handoff()
+
+        # Front-end CPU work: request analysis, dispatcher contact, and —
+        # crucially for the distributor-bottleneck story (§4.2) — the TCP
+        # handoff, which migrates connection state and burns 200 µs of
+        # distributor time per handed-off request.
+        service = self.params.frontend_parse_s
+        if decision.dispatched:
+            service += self.params.dispatch_s
+        if handoff:
+            service += self.params.handoff_s
+
+        # Pure network latency added after the front-end work.
+        latency = 0.0
+        if setup:
+            latency += self.params.connection_latency_s
+        if relay:
+            # Backend-forwarding: the connection stays at its bound
+            # backend; the response is relayed over the interconnect.
+            latency += self.params.transmit_s(req.size)
+        else:
+            conn.server_id = decision.server_id
+        conn.requests_seen += 1
+        if not req.is_embedded:
+            conn.last_page = req.path
+
+        server = self.servers[decision.server_id]
+
+        def deliver() -> None:
+            server.handle(req.path, req.size,
+                          lambda sid, hit: self._on_done(req, sid, hit),
+                          dynamic=req.dynamic)
+
+        def after_frontend() -> None:
+            if latency > 0:
+                self.sim.schedule(latency, deliver)
+            else:
+                deliver()
+
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "routed", req.conn_id, req.path,
+                server=decision.server_id, dispatched=decision.dispatched,
+                handoff=handoff, setup=setup, relay=relay,
+                prefetches=len(decision.prefetches),
+            )
+        frontend = self.frontends[req.conn_id % len(self.frontends)]
+        frontend.submit(service, after_frontend)
+        self._issue_prefetches(decision)
+
+    def _on_done(self, req: Request, server_id: int, hit: bool) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "complete", req.conn_id, req.path,
+                             server=server_id, hit=hit,
+                             response_s=self.sim.now - req.arrival)
+        self.metrics.record_completion(req, self.sim.now, server_id, hit)
+        self.policy.on_complete(req, server_id, hit)
+        callback = self._inject_callbacks.pop(id(req), None)
+        if callback is not None:
+            callback(server_id, hit)
+        left = self._remaining_per_conn[req.conn_id] - 1
+        self._remaining_per_conn[req.conn_id] = left
+        if left == 0 and (not self._explicit_close
+                          or req.conn_id in self._closing):
+            self.policy.on_connection_close(req.conn_id)
+            self._connections.pop(req.conn_id, None)
+            self._closing.discard(req.conn_id)
+
+    def _issue_prefetches(self, decision: RoutingDecision) -> None:
+        for directive in decision.prefetches:
+            size = self._catalog.get(directive.path)
+            if size is None or size <= 0:
+                continue
+            self.servers[directive.server_id].prefetch(directive.path, size)
+
+    # -- result ------------------------------------------------------------------
+
+    def _result(self) -> SimulationResult:
+        elapsed = self.sim.now if self.sim.now > 0 else 1.0
+        self.metrics.prefetches_issued = sum(
+            s.prefetches_issued for s in self.servers
+        )
+        self.metrics.prefetch_useful = sum(
+            s.prefetch_useful for s in self.servers
+        )
+        warmup_until = self.warmup_fraction * self.window_s
+        return SimulationResult(
+            policy_name=self.policy.name,
+            trace_name=(self.trace.name if self.trace is not None
+                        else "closed-loop"),
+            n_backends=self.params.n_backends,
+            report=self.metrics.report(
+                warmup_until=warmup_until,
+                window_end=self.window_s,
+            ),
+            power=self.power.report(),
+            frontend_utilization=max(
+                f.utilization(elapsed) for f in self.frontends
+            ),
+            server_utilizations=tuple(
+                s.utilization(elapsed) for s in self.servers
+            ),
+            warmup_until=warmup_until,
+            dispatcher_lookups=self.dispatcher.lookups,
+        )

@@ -1,0 +1,185 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event core: a binary-heap calendar of
+``(time, sequence, callback)`` entries.  Sequence numbers break ties so
+simultaneous events fire in scheduling order, which keeps every run
+bit-reproducible — a property the regression tests rely on.
+
+:class:`Resource` models a single-server queueing station (CPU, disk,
+NIC) with priority classes: demand work preempts *queued* (never
+in-service) prefetch work, matching how a real server would schedule
+low-priority readahead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Simulator", "Resource", "PRIORITY_DEMAND", "PRIORITY_PREFETCH"]
+
+#: Priority classes for :class:`Resource` jobs (lower value = served first).
+PRIORITY_DEMAND = 0
+PRIORITY_PREFETCH = 1
+
+
+class Simulator:
+    """The event calendar and clock.
+
+    All times are in **seconds** (floats); component cost models convert
+    from the paper's µs/ms constants at the edges.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self._events_processed = 0
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` when the clock reaches ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), fn))
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.schedule_at(self.now + delay, fn)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the calendar empties (or ``until``)."""
+        while self._heap:
+            time, _, fn = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = time
+            self._events_processed += 1
+            fn()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the calendar is empty."""
+        if not self._heap:
+            return False
+        time, _, fn = heapq.heappop(self._heap)
+        self.now = time
+        self._events_processed += 1
+        fn()
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+
+@dataclass(slots=True)
+class _Job:
+    service_time: float
+    done: Callable[[], None]
+    priority: int
+    seq: int
+    started: bool = False
+
+    def sort_key(self) -> tuple[int, int]:
+        return (self.priority, self.seq)
+
+
+class Resource:
+    """A single-server FIFO station with priority classes.
+
+    Jobs are served one at a time; among the queued jobs the lowest
+    ``(priority, arrival-order)`` goes next.  Jobs already in service are
+    never preempted.  Utilisation bookkeeping feeds the power model and
+    the stats layer.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "resource") -> None:
+        self.sim = sim
+        self.name = name
+        self._queue: list[tuple[tuple[int, int], _Job]] = []
+        self._busy = False
+        self._seq = itertools.count()
+        self.busy_time: float = 0.0
+        self.jobs_served = 0
+        self._service_started = 0.0
+
+    def submit(
+        self,
+        service_time: float,
+        done: Callable[[], None],
+        *,
+        priority: int = PRIORITY_DEMAND,
+    ) -> _Job:
+        """Enqueue a job; ``done`` fires when its service completes.
+
+        Returns a job handle usable with :meth:`promote`.
+        """
+        if service_time < 0:
+            raise ValueError(f"negative service time: {service_time}")
+        job = _Job(service_time, done, priority, next(self._seq))
+        heapq.heappush(self._queue, (job.sort_key(), job))
+        if not self._busy:
+            self._start_next()
+        return job
+
+    def promote(self, job: _Job, priority: int = PRIORITY_DEMAND) -> bool:
+        """Raise a *queued* job's priority (e.g. a prefetch read that a
+        demand request coalesced onto).  No effect once service started
+        or when the job already has equal/higher priority."""
+        if job.started or priority >= job.priority:
+            return False
+        job.priority = priority
+        # Lazy rebuild: cheap relative to event processing and rare.
+        self._queue = [(j.sort_key(), j) for _, j in self._queue]
+        heapq.heapify(self._queue)
+        return True
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            return
+        _, job = heapq.heappop(self._queue)
+        job.started = True
+        self._busy = True
+        self._service_started = self.sim.now
+
+        def finish() -> None:
+            self.busy_time += self.sim.now - self._service_started
+            self.jobs_served += 1
+            self._busy = False
+            # Start the next job before the completion callback so a
+            # callback that re-submits cannot starve the queue head.
+            self._start_next()
+            job.done()
+
+        self.sim.schedule(job.service_time, finish)
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent serving (current job included)."""
+        if elapsed <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy:
+            busy += self.sim.now - self._service_started
+        return min(1.0, busy / elapsed)

@@ -1,0 +1,100 @@
+"""Failure injection: backend crashes and cold recoveries.
+
+A :class:`FailureSchedule` lists when backends go down and come back.
+On failure the node's memory is lost (the dispatcher's locality table
+updates through the eviction notifications) and every policy stops
+routing to it; on recovery it returns cold.  The model is graceful
+failover — requests in flight at the moment of the crash complete —
+so the interesting effects are the re-homed content, the cold caches,
+and the load shift, not dropped connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .cluster import ClusterSimulator
+
+__all__ = ["Failure", "FailureSchedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Failure:
+    """One backend outage: down at ``at`` for ``duration`` seconds."""
+
+    server_id: int
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("failure time must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("failure duration must be positive")
+
+    @property
+    def recovery_at(self) -> float:
+        return self.at + self.duration
+
+
+class FailureSchedule:
+    """A set of outages to inject into a cluster run."""
+
+    def __init__(self, failures: Iterable[Failure]) -> None:
+        self.failures: tuple[Failure, ...] = tuple(
+            sorted(failures, key=lambda f: (f.at, f.server_id))
+        )
+        self.crashes_fired = 0
+        self.recoveries_fired = 0
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def install(self, cluster: "ClusterSimulator") -> None:
+        """Schedule all crash/recovery events on the cluster's engine."""
+        n = len(cluster.servers)
+        for failure in self.failures:
+            if not 0 <= failure.server_id < n:
+                raise ValueError(
+                    f"failure targets unknown server {failure.server_id}"
+                )
+        for failure in self.failures:
+            server = cluster.servers[failure.server_id]
+            cluster.sim.schedule_at(failure.at, self._make_crash(server))
+            cluster.sim.schedule_at(failure.recovery_at,
+                                    self._make_recovery(server))
+
+    def _make_crash(self, server):
+        def crash() -> None:
+            server.fail()
+            self.crashes_fired += 1
+        return crash
+
+    def _make_recovery(self, server):
+        def recover() -> None:
+            server.recover()
+            self.recoveries_fired += 1
+        return recover
+
+    @staticmethod
+    def single(server_id: int, at: float, duration: float) -> "FailureSchedule":
+        """Convenience: one outage."""
+        return FailureSchedule([Failure(server_id, at, duration)])
+
+    @staticmethod
+    def rolling(
+        server_ids: Sequence[int],
+        *,
+        start: float,
+        duration: float,
+        gap: float,
+    ) -> "FailureSchedule":
+        """A rolling outage: each listed backend down in turn."""
+        if gap < 0:
+            raise ValueError("gap must be non-negative")
+        return FailureSchedule([
+            Failure(sid, start + i * (duration + gap), duration)
+            for i, sid in enumerate(server_ids)
+        ])

@@ -1,0 +1,100 @@
+"""Power accounting (extension; Table 1's power row, PARD-style).
+
+The paper lists power states — 100% ON, 0% OFF, 5% hibernation — but
+does not evaluate them (they descend from the authors' PARD work).  This
+optional extension implements the natural model: a backend that stays
+idle for ``hibernate_after_s`` drops to hibernation; the next request
+pays ``wakeup_latency_s`` before service.  Energy integrates the state
+timeline, so the ablation bench can show the locality/energy trade-off
+of concentrating load LARD-style versus spreading it WRR-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import SimulationParams
+from .engine import Simulator
+from .server import BackendServer
+
+__all__ = ["PowerReport", "PowerManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerReport:
+    """Energy summary for one run (power in ON-fraction units)."""
+
+    energy_units: float
+    awake_seconds: float
+    hibernating_seconds: float
+    wakeups: int
+
+    @property
+    def mean_power(self) -> float:
+        total = self.awake_seconds + self.hibernating_seconds
+        return self.energy_units / total if total > 0 else 0.0
+
+
+class PowerManager:
+    """Tracks awake/hibernating state per backend and integrates energy."""
+
+    def __init__(self, sim: Simulator, params: SimulationParams,
+                 servers: list[BackendServer]) -> None:
+        self.sim = sim
+        self.params = params
+        self._awake: dict[int, bool] = {s.server_id: True for s in servers}
+        self._state_since: dict[int, float] = {s.server_id: 0.0 for s in servers}
+        self._last_active: dict[int, float] = {s.server_id: 0.0 for s in servers}
+        self._energy: dict[int, float] = {s.server_id: 0.0 for s in servers}
+        self._awake_s: dict[int, float] = {s.server_id: 0.0 for s in servers}
+        self._hib_s: dict[int, float] = {s.server_id: 0.0 for s in servers}
+        self.wakeups = 0
+        if params.power_management:
+            for server in servers:
+                server.start_latency_hook = self._on_request_start
+                server.on_idle = self._on_idle
+
+    def _accrue(self, sid: int) -> None:
+        dt = self.sim.now - self._state_since[sid]
+        if dt <= 0:
+            return
+        if self._awake[sid]:
+            self._energy[sid] += dt * self.params.power_on
+            self._awake_s[sid] += dt
+        else:
+            self._energy[sid] += dt * self.params.power_hibernate
+            self._hib_s[sid] += dt
+        self._state_since[sid] = self.sim.now
+
+    def _on_request_start(self, server: BackendServer) -> float:
+        sid = server.server_id
+        self._last_active[sid] = self.sim.now
+        if self._awake[sid]:
+            return 0.0
+        self._accrue(sid)
+        self._awake[sid] = True
+        self.wakeups += 1
+        return self.params.wakeup_latency_s
+
+    def _on_idle(self, server: BackendServer) -> None:
+        sid = server.server_id
+        idle_from = self.sim.now
+        self._last_active[sid] = idle_from
+
+        def maybe_hibernate() -> None:
+            if (self._awake[sid] and server.is_idle
+                    and self._last_active[sid] == idle_from):
+                self._accrue(sid)
+                self._awake[sid] = False
+
+        self.sim.schedule(self.params.hibernate_after_s, maybe_hibernate)
+
+    def report(self) -> PowerReport:
+        for sid in self._awake:
+            self._accrue(sid)
+        return PowerReport(
+            energy_units=sum(self._energy.values()),
+            awake_seconds=sum(self._awake_s.values()),
+            hibernating_seconds=sum(self._hib_s.values()),
+            wakeups=self.wakeups,
+        )

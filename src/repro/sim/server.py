@@ -1,0 +1,296 @@
+"""Backend server model: CPU and disk stations plus the file cache.
+
+A request flows CPU (protocol processing) → cache → (disk on miss) →
+CPU (data transfer at 80 µs/KB — the Table-1 "data transmission rate",
+which, as in Pai et al.'s LARD model, is CPU time spent moving the
+response).  Prefetches ride the disk at low priority so readahead never
+delays demand reads, and replicas arrive via
+:meth:`BackendServer.receive_replica`.  The server's ``load`` —
+in-flight demand requests — is the balancing metric LARD-family
+policies compare against their T_low/T_high thresholds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..core.config import SimulationParams
+from .engine import PRIORITY_PREFETCH, Resource, Simulator
+
+__all__ = ["BackendServer"]
+
+
+class BackendServer:
+    """One backend node of the simulated cluster.
+
+    Parameters
+    ----------
+    sim:
+        The shared event engine.
+    server_id:
+        Cluster-unique index.
+    params:
+        Cost model.
+    on_cache_insert / on_cache_evict:
+        Callbacks ``fn(server_id, path)`` wired to the dispatcher's
+        locality table.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server_id: int,
+        params: SimulationParams,
+        *,
+        on_cache_insert: Callable[[int, str], None] | None = None,
+        on_cache_evict: Callable[[int, str], None] | None = None,
+        future_weights: dict[str, float] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.server_id = server_id
+        self.params = params
+        self.cpu = Resource(sim, f"cpu{server_id}")
+        self.disk = Resource(sim, f"disk{server_id}")
+        self._on_insert = on_cache_insert
+        self._on_evict = on_cache_evict
+        from .gdsf import make_cache  # local import avoids a cycle
+        self.cache = make_cache(
+            params.cache_policy,
+            params.server_cache_bytes,
+            future_weights=future_weights,
+            on_insert=self._cache_inserted,
+            on_evict=self._cache_evicted,
+        )
+        #: in-flight demand requests (admission queue + workers)
+        self.active = 0
+        self.completed = 0
+        #: dynamic (generated-content) requests served
+        self.dynamic_served = 0
+        #: requests currently holding a worker slot
+        self._workers_busy = 0
+        #: admission queue of deferred request starters (FCFS)
+        self._admission: deque[Callable[[], None]] = deque()
+        #: paths currently resident because a prefetch brought them in
+        self._prefetched_resident: set[str] = set()
+        #: prefetch reads already on the disk queue (path -> job handle)
+        self._prefetch_inflight: dict[str, object] = {}
+        #: demand continuations coalesced onto in-flight prefetch reads
+        self._prefetch_waiters: dict[str, list[Callable[[], None]]] = {}
+        #: demand continuations coalesced onto in-flight demand reads
+        self._demand_inflight: dict[str, list[Callable[[], None]]] = {}
+        self.prefetches_issued = 0
+        self.prefetch_useful = 0
+        #: prefetched files evicted before any demand hit
+        self.prefetch_wasted = 0
+        # Sliding counters for the adaptive waste guard (decayed copies
+        # of useful/wasted so the reported totals stay exact).
+        self._guard_useful = 0
+        self._guard_wasted = 0
+        #: optional hook returning extra start latency (power wake-up)
+        self.start_latency_hook: Callable[["BackendServer"], float] | None = None
+        self.on_idle: Callable[["BackendServer"], None] | None = None
+        #: False while the node is crashed (failure injection)
+        self.up = True
+
+    def _cache_inserted(self, path: str) -> None:
+        if self._on_insert:
+            self._on_insert(self.server_id, path)
+
+    def _cache_evicted(self, path: str) -> None:
+        if path in self._prefetched_resident:
+            self._prefetched_resident.discard(path)
+            self.prefetch_wasted += 1
+            self._guard_wasted += 1
+        if self._on_evict:
+            self._on_evict(self.server_id, path)
+
+    # -- demand path ------------------------------------------------------------
+
+    def handle(
+        self,
+        path: str,
+        size: int,
+        done: Callable[[int, bool], None],
+        *,
+        dynamic: bool = False,
+    ) -> None:
+        """Serve a demand request; ``done(server_id, hit)`` on completion.
+
+        ``dynamic`` requests are generated per call: they bypass the
+        cache entirely and spend ``dynamic_cpu_ms`` of CPU instead of
+        touching the disk (dynamic-content extension).
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.active += 1
+        self.dynamic_served += dynamic
+        extra = 0.0
+        if self.start_latency_hook is not None:
+            extra = self.start_latency_hook(self)
+
+        def start() -> None:
+            # Admission: a request needs a worker slot for its whole
+            # lifetime (including any disk wait).  When all slots are
+            # busy, it queues FCFS — this couples miss latency into hit
+            # latency exactly as a bounded worker pool does.
+            if self._workers_busy < self.params.backend_workers:
+                self._workers_busy += 1
+                begin()
+            else:
+                self._admission.append(begin)
+
+        def begin() -> None:
+            self.cpu.submit(self.params.backend_cpu_s, after_cpu)
+
+        def after_cpu() -> None:
+            if dynamic:
+                # Generated content: no cache, no disk — pure CPU.
+                self.cpu.submit(self.params.dynamic_cpu_s,
+                                lambda: transmit(False))
+                return
+            hit = self.cache.access(path)
+            if hit:
+                if path in self._prefetched_resident:
+                    # Count each prefetched file's first demand hit once.
+                    self._prefetched_resident.discard(path)
+                    self.prefetch_useful += 1
+                    self._guard_useful += 1
+                transmit(True)
+            elif path in self._prefetch_inflight:
+                # A prefetch read for this file is already on the disk
+                # queue: coalesce instead of issuing a duplicate read,
+                # and promote the read to demand priority.
+                self.disk.promote(self._prefetch_inflight[path])
+                self._prefetch_waiters.setdefault(path, []).append(
+                    lambda: transmit(False)
+                )
+            elif path in self._demand_inflight:
+                # Another demand read for the same file is in flight.
+                self._demand_inflight[path].append(lambda: transmit(False))
+            else:
+                self._demand_inflight[path] = []
+                self.disk.submit(self.params.disk_service_s(size),
+                                 lambda: after_disk())
+
+        def after_disk() -> None:
+            self.cache.insert(path, size)
+            waiters = self._demand_inflight.pop(path, ())
+            transmit(False)
+            for resume in waiters:
+                resume()
+
+        def transmit(hit: bool) -> None:
+            # Response transfer costs CPU time (80 us/KB, Table 1).
+            self.cpu.submit(self.params.transmit_s(size),
+                            lambda: finish(hit))
+
+        def finish(hit: bool) -> None:
+            self.active -= 1
+            self.completed += 1
+            if self._admission:
+                next_start = self._admission.popleft()
+                next_start()
+            else:
+                self._workers_busy -= 1
+            done(self.server_id, hit)
+            if self.active == 0 and self.on_idle is not None:
+                self.on_idle(self)
+
+        if extra > 0:
+            self.sim.schedule(extra, start)
+        else:
+            start()
+
+    # -- proactive paths ----------------------------------------------------------
+
+    #: Skip new prefetches when this many disk jobs are already queued —
+    #: under disk pressure, readahead only steals bandwidth from demand.
+    PREFETCH_DISK_BACKLOG_LIMIT = 16
+
+    def prefetch(self, path: str, size: int) -> bool:
+        """Read a file into memory at low priority; True if scheduled."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if not self.up:
+            return False
+        if self.cache.peek(path) or path in self._prefetch_inflight:
+            return False
+        if self.disk.queue_length >= self.PREFETCH_DISK_BACKLOG_LIMIT:
+            return False
+        if (self._guard_wasted > 20
+                and self._guard_wasted > 3 * self._guard_useful):
+            # Adaptive waste guard: when the cache is too small to hold
+            # prefetched data until it is used, readahead only churns it.
+            # Exponential forgetting lets the guard re-open if the
+            # workload shifts.
+            self._guard_useful //= 2
+            self._guard_wasted //= 2
+            return False
+        self.prefetches_issued += 1
+
+        def after_disk() -> None:
+            self._prefetch_inflight.pop(path, None)
+            self.cache.insert(path, size)
+            waiters = self._prefetch_waiters.pop(path, None)
+            if waiters:
+                # Demand requests piggybacked on this read: the prefetch
+                # did useful work even before a later cache hit.
+                self.prefetch_useful += 1
+                self._guard_useful += 1
+                for resume in waiters:
+                    resume()
+            elif self.cache.peek(path):
+                self._prefetched_resident.add(path)
+
+        job = self.disk.submit(self.params.disk_service_s(size), after_disk,
+                               priority=PRIORITY_PREFETCH)
+        self._prefetch_inflight[path] = job
+        return True
+
+    # -- failure injection ---------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash the node: it stops being a routing candidate and its
+        memory contents are lost (the dispatcher learns through the
+        eviction notifications).  In-flight work drains — the model is a
+        graceful failover, not lost connections."""
+        self.up = False
+        for path in list(self.cache.contents()):
+            self.cache.evict(path)
+
+    def recover(self) -> None:
+        """Bring the node back, cold: empty cache, zero load."""
+        self.up = True
+
+    def receive_replica(self, path: str, size: int, *, pin: bool = True) -> bool:
+        """Install a replicated file pushed over the interconnect.
+
+        The transfer delay is the caller's responsibility (the
+        replication engine schedules this call after the migration
+        time); installation itself is immediate.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if not self.up:
+            return False
+        self.cache.insert(path, size, pinned=pin)
+        return self.cache.peek(path)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """In-flight demand requests — LARD's balancing metric."""
+        return self.active
+
+    @property
+    def is_idle(self) -> bool:
+        return (self.active == 0 and not self.cpu.busy
+                and not self.disk.busy)
+
+    def utilization(self, elapsed: float) -> dict[str, float]:
+        return {
+            "cpu": self.cpu.utilization(elapsed),
+            "disk": self.disk.utilization(elapsed),
+        }

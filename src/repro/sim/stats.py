@@ -1,0 +1,226 @@
+"""Metrics collection and reporting for cluster simulations.
+
+The paper's evaluation metrics (§5.2): *average response time*,
+*throughput* (requests completed per unit time, summed over backends),
+*frequency of dispatches* (Fig. 6), and cache hit rates.  The collector
+records per-request completions plus event counters; reports can exclude
+a warm-up prefix so cold-cache compulsory misses do not drown
+steady-state behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..logs.records import Request
+
+__all__ = ["CompletionRecord", "SimulationReport", "MetricsCollector"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompletionRecord:
+    """One served request."""
+
+    arrival: float
+    completion: float
+    server_id: int
+    hit: bool
+    is_embedded: bool
+    size: int
+
+    @property
+    def response_time(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationReport:
+    """Aggregated metrics over (post-warm-up) completions."""
+
+    completed: int
+    #: completions inside the offered-load window / window length — the
+    #: paper's "summation of the number of requests processed by each of
+    #: the backend servers" over the measured interval.
+    throughput_rps: float
+    #: drain throughput: completions / (last completion − window start).
+    #: A policy that leaves a backlog takes longer to finish the same
+    #: request set and scores lower on this alternative reading.
+    drain_throughput_rps: float
+    mean_response_s: float
+    median_response_s: float
+    p95_response_s: float
+    hit_rate: float
+    dispatches: int
+    handoffs: int
+    connections: int
+    prefetches_issued: int
+    prefetch_useful: int
+    replicated_bytes: int
+    makespan_s: float
+    per_server_completed: tuple[int, ...]
+
+    @property
+    def dispatch_frequency(self) -> float:
+        """Dispatches per completed request (Fig. 6, normalised)."""
+        return self.dispatches / self.completed if self.completed else 0.0
+
+    @property
+    def prefetch_precision(self) -> float:
+        """Fraction of issued prefetches later hit by demand."""
+        if not self.prefetches_issued:
+            return 0.0
+        return self.prefetch_useful / self.prefetches_issued
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean per-server completions (1.0 = perfectly balanced)."""
+        counts = np.array(self.per_server_completed, dtype=float)
+        if counts.size == 0 or counts.mean() == 0:
+            return 0.0
+        return float(counts.max() / counts.mean())
+
+    def row(self) -> str:
+        """One formatted table row for the experiment harness."""
+        return (
+            f"thr={self.throughput_rps:9.1f} rps  "
+            f"resp={self.mean_response_s * 1e3:8.2f} ms  "
+            f"hit={self.hit_rate:6.1%}  "
+            f"disp/req={self.dispatch_frequency:5.2f}"
+        )
+
+
+class MetricsCollector:
+    """Accumulates completions and event counters during a run."""
+
+    def __init__(self, n_servers: int) -> None:
+        if n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        self.n_servers = n_servers
+        self._records: list[CompletionRecord] = []
+        self.dispatches = 0
+        self.handoffs = 0
+        self.connections = 0
+        self.prefetches_issued = 0
+        self.prefetch_useful = 0
+        self.replicated_bytes = 0
+        self.first_arrival: float | None = None
+
+    # -- recording ------------------------------------------------------------
+
+    def record_completion(
+        self,
+        request: Request,
+        completion: float,
+        server_id: int,
+        hit: bool,
+    ) -> None:
+        if not 0 <= server_id < self.n_servers:
+            raise ValueError(f"server_id {server_id} out of range")
+        if completion < request.arrival:
+            raise ValueError("completion precedes arrival")
+        if self.first_arrival is None or request.arrival < self.first_arrival:
+            self.first_arrival = request.arrival
+        self._records.append(CompletionRecord(
+            arrival=request.arrival,
+            completion=completion,
+            server_id=server_id,
+            hit=hit,
+            is_embedded=request.is_embedded,
+            size=request.size,
+        ))
+
+    def count_dispatch(self) -> None:
+        self.dispatches += 1
+
+    def count_handoff(self) -> None:
+        self.handoffs += 1
+
+    def count_connection(self) -> None:
+        self.connections += 1
+
+    def count_prefetch_issued(self) -> None:
+        self.prefetches_issued += 1
+
+    def count_prefetch_useful(self) -> None:
+        self.prefetch_useful += 1
+
+    def count_replicated_bytes(self, n: int) -> None:
+        self.replicated_bytes += n
+
+    @property
+    def completed(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[CompletionRecord]:
+        return self._records
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(
+        self,
+        *,
+        warmup_until: float = 0.0,
+        window_end: float | None = None,
+    ) -> SimulationReport:
+        """Aggregate over completions whose request arrived after warm-up.
+
+        ``window_end`` bounds the throughput measurement window (the
+        offered-load interval, normally the trace duration): throughput
+        counts only requests *completed* inside the window, divided by
+        the window length.  An overloaded policy leaves a backlog at
+        window end and scores lower — the paper's "requests processed by
+        each of the backend servers" reading.  Response-time and
+        hit-rate statistics cover all post-warm-up completions.
+
+        Event counters (dispatches, handoffs, ...) are run totals — the
+        paper's Fig. 6 counts dispatches over the whole trace.
+        """
+        recs = [r for r in self._records if r.arrival >= warmup_until]
+        per_server = [0] * self.n_servers
+        for r in recs:
+            per_server[r.server_id] += 1
+        if not recs:
+            return SimulationReport(
+                completed=0, throughput_rps=0.0, drain_throughput_rps=0.0,
+                mean_response_s=0.0,
+                median_response_s=0.0, p95_response_s=0.0, hit_rate=0.0,
+                dispatches=self.dispatches, handoffs=self.handoffs,
+                connections=self.connections,
+                prefetches_issued=self.prefetches_issued,
+                prefetch_useful=self.prefetch_useful,
+                replicated_bytes=self.replicated_bytes,
+                makespan_s=0.0,
+                per_server_completed=tuple(per_server),
+            )
+        responses = np.array([r.response_time for r in recs])
+        start = max(warmup_until,
+                    self.first_arrival if self.first_arrival else 0.0)
+        makespan = max(r.completion for r in recs) - start
+        drain_throughput = len(recs) / makespan if makespan > 0 else 0.0
+        if window_end is not None and window_end > start:
+            in_window = sum(1 for r in recs if r.completion <= window_end)
+            throughput = in_window / (window_end - start)
+        else:
+            throughput = drain_throughput
+        hits = sum(1 for r in recs if r.hit)
+        return SimulationReport(
+            completed=len(recs),
+            throughput_rps=throughput,
+            drain_throughput_rps=drain_throughput,
+            mean_response_s=float(responses.mean()),
+            median_response_s=float(np.median(responses)),
+            p95_response_s=float(np.percentile(responses, 95)),
+            hit_rate=hits / len(recs),
+            dispatches=self.dispatches,
+            handoffs=self.handoffs,
+            connections=self.connections,
+            prefetches_issued=self.prefetches_issued,
+            prefetch_useful=self.prefetch_useful,
+            replicated_bytes=self.replicated_bytes,
+            makespan_s=makespan,
+            per_server_completed=tuple(per_server),
+        )

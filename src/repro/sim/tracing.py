@@ -1,0 +1,121 @@
+"""Structured request-event tracing for simulation debugging.
+
+Attach a :class:`RequestTracer` to a
+:class:`~repro.sim.cluster.ClusterSimulator` to capture each request's
+lifecycle — arrival, routing decision (with the Fig. 4 path taken), and
+completion — as structured events.  Traces answer the questions that
+aggregate metrics cannot: *why* did this request miss, which backend
+served it, did a handoff happen.
+
+Events are plain dicts, exportable as JSON-lines; a ``capacity`` bound
+keeps long runs from exhausting memory (oldest events are dropped).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["TraceEvent", "RequestTracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured simulation event."""
+
+    time: float
+    kind: str
+    conn_id: int
+    path: str
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def as_dict(self) -> dict:
+        d = {"time": self.time, "kind": self.kind,
+             "conn_id": self.conn_id, "path": self.path}
+        d.update(dict(self.fields))
+        return d
+
+
+class RequestTracer:
+    """Collects request lifecycle events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events (FIFO eviction).
+    path_filter / conn_filter:
+        Optional predicates; events failing either are not recorded.
+    """
+
+    KINDS = ("arrival", "routed", "complete")
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 100_000,
+        path_filter: Callable[[str], bool] | None = None,
+        conn_filter: Callable[[int], bool] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.path_filter = path_filter
+        self.conn_filter = conn_filter
+        self.dropped = 0
+        self.recorded = 0
+
+    def emit(self, time: float, kind: str, conn_id: int, path: str,
+             **fields: object) -> None:
+        """Record one event (subject to the filters)."""
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        if self.path_filter is not None and not self.path_filter(path):
+            return
+        if self.conn_filter is not None and not self.conn_filter(conn_id):
+            return
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(TraceEvent(
+            time=time, kind=kind, conn_id=conn_id, path=path,
+            fields=tuple(sorted(fields.items())),
+        ))
+        self.recorded += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def for_connection(self, conn_id: int) -> list[TraceEvent]:
+        return [e for e in self._events if e.conn_id == conn_id]
+
+    def for_path(self, path: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.path == path]
+
+    def request_story(self, conn_id: int, path: str) -> list[TraceEvent]:
+        """All events of one (connection, path) pair, in time order."""
+        return [e for e in self._events
+                if e.conn_id == conn_id and e.path == path]
+
+    # -- export -------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Events as JSON-lines text."""
+        return "\n".join(json.dumps(e.as_dict()) for e in self._events)
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {k: 0 for k in self.KINDS}
+        for e in self._events:
+            counts[e.kind] += 1
+        counts["dropped"] = self.dropped
+        return counts

@@ -1,0 +1,100 @@
+"""Tests for adaptive index-page synthesis (PageGather-style)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logs import page_sequences, sessionize, synthetic_workload
+from repro.mining import (
+    IndexPageSynthesizer,
+    cooccurrence_counts,
+)
+
+
+class TestCooccurrence:
+    def test_counts_pairs_once_per_visit(self):
+        counts = cooccurrence_counts([["/a", "/b", "/a"], ["/a", "/b"]])
+        assert counts[("/a", "/b")] == 2
+
+    def test_pairs_are_sorted(self):
+        counts = cooccurrence_counts([["/z", "/a"]])
+        assert ("/a", "/z") in counts
+        assert ("/z", "/a") not in counts
+
+    def test_empty(self):
+        assert cooccurrence_counts([]) == {}
+
+    @given(st.lists(st.lists(st.sampled_from("abcde"), min_size=2,
+                             max_size=5), min_size=1, max_size=20))
+    def test_property_symmetric_and_bounded(self, seqs):
+        counts = cooccurrence_counts(seqs)
+        for (a, b), n in counts.items():
+            assert a < b
+            assert 0 < n <= len(seqs)
+
+
+class TestSynthesizer:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            IndexPageSynthesizer(min_cooccurrence=0)
+        with pytest.raises(ValueError):
+            IndexPageSynthesizer(min_cluster_size=1)
+        with pytest.raises(ValueError):
+            IndexPageSynthesizer(min_cluster_size=10, max_cluster_size=5)
+        with pytest.raises(ValueError):
+            IndexPageSynthesizer().suggest([], k=0)
+
+    def test_two_clear_clusters(self):
+        sequences = (
+            [["/cats/1", "/cats/2", "/cats/3"]] * 5
+            + [["/dogs/1", "/dogs/2", "/dogs/3"]] * 4
+        )
+        out = IndexPageSynthesizer(min_cooccurrence=2).suggest(sequences)
+        assert len(out) == 2
+        assert set(out[0].pages) == {"/cats/1", "/cats/2", "/cats/3"}
+        assert set(out[1].pages) == {"/dogs/1", "/dogs/2", "/dogs/3"}
+        assert out[0].score > out[1].score
+
+    def test_noise_pairs_filtered(self):
+        sequences = [["/a", "/b", "/c"]] * 3 + [["/a", "/zzz"]]
+        out = IndexPageSynthesizer(min_cooccurrence=2).suggest(sequences)
+        for s in out:
+            assert "/zzz" not in s.pages
+
+    def test_cluster_size_cap(self):
+        # One giant co-occurring page set must be split by the cap.
+        pages = [f"/p{i}" for i in range(20)]
+        sequences = [pages] * 4
+        out = IndexPageSynthesizer(min_cooccurrence=2,
+                                   max_cluster_size=6,
+                                   min_cluster_size=3).suggest(sequences,
+                                                               k=10)
+        assert out
+        assert all(len(s) <= 6 for s in out)
+
+    def test_small_clusters_dropped(self):
+        sequences = [["/a", "/b"]] * 5
+        out = IndexPageSynthesizer(min_cooccurrence=2,
+                                   min_cluster_size=3).suggest(sequences)
+        assert out == []
+
+    def test_k_limits_output(self):
+        sequences = []
+        for group in range(6):
+            sequences += [[f"/g{group}/x", f"/g{group}/y",
+                           f"/g{group}/z"]] * 3
+        out = IndexPageSynthesizer(min_cooccurrence=2).suggest(sequences,
+                                                               k=4)
+        assert len(out) == 4
+
+    def test_on_real_traffic_groups_by_section(self):
+        w = synthetic_workload(scale=0.1)
+        sequences = page_sequences(sessionize(w.training_records),
+                                   min_length=3)
+        out = IndexPageSynthesizer(min_cooccurrence=3).suggest(sequences,
+                                                               k=3)
+        assert out
+        for suggestion in out:
+            sections = {p.split("/")[1] for p in suggestion.pages}
+            # Navigation is section-biased, so synthesized indexes
+            # should be dominated by one site section.
+            assert len(sections) <= 2

@@ -1,0 +1,175 @@
+"""Tests for the byte-capacity LRU cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import LRUCache
+
+
+class TestBasics:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_insert_and_access(self):
+        c = LRUCache(100)
+        assert c.insert("/a", 40) == []
+        assert c.access("/a")
+        assert not c.access("/b")
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_rate == 0.5
+
+    def test_peek_does_not_touch(self):
+        c = LRUCache(100)
+        c.insert("/a", 40)
+        assert c.peek("/a")
+        assert not c.peek("/b")
+        assert c.hits == 0 and c.misses == 0
+
+    def test_resident_bytes(self):
+        c = LRUCache(100)
+        c.insert("/a", 40)
+        c.insert("/b", 30)
+        assert c.resident_bytes == 70
+        assert len(c) == 2
+
+    def test_invalid_size_rejected(self):
+        c = LRUCache(100)
+        with pytest.raises(ValueError):
+            c.insert("/a", 0)
+
+    def test_size_mismatch_rejected(self):
+        c = LRUCache(100)
+        c.insert("/a", 40)
+        with pytest.raises(ValueError, match="size mismatch"):
+            c.insert("/a", 50)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        c = LRUCache(100)
+        c.insert("/a", 50)
+        c.insert("/b", 50)
+        c.access("/a")            # /b becomes LRU
+        evicted = c.insert("/c", 50)
+        assert evicted == ["/b"]
+        assert c.peek("/a") and c.peek("/c")
+
+    def test_oversized_file_not_cached(self):
+        c = LRUCache(100)
+        assert c.insert("/huge", 200) == []
+        assert not c.peek("/huge")
+        assert c.resident_bytes == 0
+
+    def test_multiple_evictions(self):
+        c = LRUCache(100)
+        for i in range(4):
+            c.insert(f"/f{i}", 25)
+        evicted = c.insert("/big", 80)
+        # 100 resident + 80 incoming: all four 25-byte files must go.
+        assert evicted == ["/f0", "/f1", "/f2", "/f3"]
+        assert c.evictions == 4
+
+    def test_reinsert_refreshes_recency(self):
+        c = LRUCache(100)
+        c.insert("/a", 50)
+        c.insert("/b", 50)
+        c.insert("/a", 50)        # refresh
+        assert c.insert("/c", 50) == ["/b"]
+
+    def test_explicit_evict(self):
+        c = LRUCache(100)
+        c.insert("/a", 40)
+        assert c.evict("/a")
+        assert not c.evict("/a")
+        assert c.resident_bytes == 0
+
+    def test_callbacks(self):
+        ins, ev = [], []
+        c = LRUCache(100, on_insert=ins.append, on_evict=ev.append)
+        c.insert("/a", 60)
+        c.insert("/b", 60)
+        assert ins == ["/a", "/b"]
+        assert ev == ["/a"]
+
+
+class TestPinning:
+    def test_pinned_not_evicted(self):
+        c = LRUCache(100)
+        c.insert("/hot", 50, pinned=True)
+        c.insert("/a", 50)
+        evicted = c.insert("/b", 50)
+        assert evicted == ["/a"]
+        assert c.peek("/hot")
+
+    def test_pinned_bytes_tracking(self):
+        c = LRUCache(100)
+        c.insert("/hot", 50, pinned=True)
+        assert c.pinned_bytes == 50
+        c.unpin("/hot")
+        assert c.pinned_bytes == 0
+        c.pin("/hot")
+        assert c.pinned_bytes == 50
+
+    def test_pin_missing_returns_false(self):
+        c = LRUCache(100)
+        assert not c.pin("/nope")
+        assert not c.unpin("/nope")
+
+    def test_file_larger_than_unpinned_space_rejected(self):
+        c = LRUCache(100)
+        c.insert("/hot", 60, pinned=True)
+        assert c.insert("/big", 50) == []
+        assert not c.peek("/big")
+
+    def test_all_pinned_insert_gives_up(self):
+        c = LRUCache(100)
+        c.insert("/h1", 50, pinned=True)
+        c.insert("/h2", 50, pinned=True)
+        assert c.insert("/x", 10) == []
+
+    def test_unpin_all(self):
+        c = LRUCache(100)
+        c.insert("/h1", 40, pinned=True)
+        c.insert("/h2", 40, pinned=True)
+        assert c.unpin_all() == 2
+        assert c.pinned_bytes == 0
+
+    def test_reinsert_changes_pin_state(self):
+        c = LRUCache(100)
+        c.insert("/a", 40)
+        c.insert("/a", 40, pinned=True)
+        assert c.pinned_bytes == 40
+
+    def test_contents_lru_first(self):
+        c = LRUCache(100)
+        c.insert("/a", 30)
+        c.insert("/b", 30)
+        c.access("/a")
+        assert c.contents() == ["/b", "/a"]
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(
+        st.sampled_from([f"/f{i}" for i in range(12)]),
+        st.integers(min_value=1, max_value=60),
+        st.booleans()), min_size=1, max_size=80))
+    def test_property_capacity_never_exceeded(self, ops):
+        c = LRUCache(100)
+        sizes = {}
+        for path, size, pinned in ops:
+            size = sizes.setdefault(path, size)
+            c.insert(path, size, pinned=pinned)
+            assert c.resident_bytes <= 100
+            assert c.pinned_bytes <= c.resident_bytes
+            assert c.resident_bytes == sum(
+                sizes[p] for p in c.contents())
+
+    @given(st.lists(st.sampled_from([f"/f{i}" for i in range(8)]),
+                    min_size=1, max_size=60))
+    def test_property_hits_plus_misses(self, accesses):
+        c = LRUCache(50)
+        for i, path in enumerate(accesses):
+            c.access(path)
+            c.insert(path, 10)
+        assert c.hits + c.misses == len(accesses)

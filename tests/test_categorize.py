@@ -1,0 +1,103 @@
+"""Tests for user categorization."""
+
+import pytest
+
+from repro.logs import SiteSpec, build_site, page_sequences, sessionize, synthetic_workload
+from repro.mining import CategoryProfile, UserCategorizer
+
+
+def profiles():
+    return [
+        CategoryProfile("students", {"/students/a.html": 0.5,
+                                     "/students/b.html": 0.5}),
+        CategoryProfile("faculty", {"/faculty/x.html": 1.0}),
+    ]
+
+
+class TestValidation:
+    def test_requires_profiles(self):
+        with pytest.raises(ValueError):
+            UserCategorizer([])
+
+    def test_unique_names(self):
+        p = CategoryProfile("dup", {"/a": 1.0})
+        with pytest.raises(ValueError):
+            UserCategorizer([p, p])
+
+
+class TestClassify:
+    def test_clear_match(self):
+        c = UserCategorizer(profiles(), min_confidence=0.1)
+        out = c.classify(["/students/a.html", "/students/b.html",
+                          "/students/a.html"])
+        assert out.category == "students"
+        assert out.confidence > 0.5
+        assert out.matched_pages == 3
+
+    def test_empty_path_unknown(self):
+        c = UserCategorizer(profiles())
+        out = c.classify([])
+        assert out.category == UserCategorizer.UNKNOWN
+        assert out.confidence == 0.0
+
+    def test_no_overlap_unknown(self):
+        c = UserCategorizer(profiles())
+        assert c.classify(["/zzz.html"]).category == UserCategorizer.UNKNOWN
+
+    def test_confidence_grows_with_path_length(self):
+        c = UserCategorizer(profiles(), min_confidence=0.0)
+        short = c.classify(["/faculty/x.html"])
+        long = c.classify(["/faculty/x.html"] * 3)
+        assert long.confidence > short.confidence
+        assert long.category == "faculty"
+
+    def test_min_confidence_gate(self):
+        strict = UserCategorizer(profiles(), min_confidence=0.99)
+        out = strict.classify(["/students/a.html", "/faculty/x.html"])
+        assert out.category == UserCategorizer.UNKNOWN
+        assert out.confidence < 0.99
+
+    def test_category_names(self):
+        c = UserCategorizer(profiles())
+        assert c.category_names() == ["students", "faculty"]
+
+
+class TestFromSite:
+    def test_site_profiles(self):
+        site = build_site(SiteSpec(categories=("u", "v"),
+                                   pages_per_category=5, seed=2))
+        c = UserCategorizer.from_site(site, min_confidence=0.1)
+        assert set(c.category_names()) == {"u", "v"}
+        out = c.classify(["/u/index.html", "/u/page001.html",
+                          "/u/page002.html"])
+        assert out.category == "u"
+
+
+class TestMine:
+    def test_mined_profiles_classify_traffic(self):
+        w = synthetic_workload(scale=0.05)
+        sessions = sessionize(w.training_records)
+        seqs = page_sequences(sessions, min_length=2)
+        c = UserCategorizer.mine(seqs, min_sessions=3, min_confidence=0.1)
+        assert len(c.category_names()) >= 2
+        # Classify held-out sessions; most confident ones should match
+        # the section the user actually browsed.
+        eval_seqs = [s for s in seqs[:50] if len(s) >= 3]
+        hits = 0
+        judged = 0
+        for seq in eval_seqs:
+            out = c.classify(seq)
+            if out.category == UserCategorizer.UNKNOWN:
+                continue
+            judged += 1
+            dominant = max(
+                set(p.strip("/").split("/")[0] for p in seq),
+                key=lambda s: sum(p.startswith(f"/{s}/") for p in seq),
+            )
+            hits += out.category == dominant
+        assert judged > 0
+        assert hits / judged > 0.7
+
+    def test_min_sessions_guard(self):
+        with pytest.raises(ValueError, match="min_sessions"):
+            UserCategorizer.mine([["/a/x.html"]], min_sessions=5)

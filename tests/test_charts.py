@@ -1,0 +1,85 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        out = bar_chart("thr", {"wrr": 10.0, "lard": 20.0})
+        lines = out.splitlines()
+        assert lines[0] == "thr"
+        assert len(lines) == 3
+        assert "wrr" in lines[1] and "10" in lines[1]
+
+    def test_peak_gets_full_bar(self):
+        out = bar_chart("t", {"a": 5.0, "b": 10.0}, width=10)
+        a_line, b_line = out.splitlines()[1:]
+        assert b_line.count("█") == 10
+        assert 4 <= a_line.count("█") <= 5
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart("t", {})
+
+    def test_zero_values(self):
+        out = bar_chart("t", {"a": 0.0, "b": 0.0})
+        assert "a" in out and "b" in out
+
+    def test_custom_format(self):
+        out = bar_chart("t", {"a": 0.5}, fmt="{:.1%}")
+        assert "50.0%" in out
+
+    @given(st.dictionaries(st.from_regex(r"[a-z0-9_-]{1,8}", fullmatch=True),
+                           st.floats(min_value=0, max_value=1e9,
+                                     allow_nan=False),
+                           min_size=1, max_size=10))
+    def test_property_one_line_per_entry(self, values):
+        out = bar_chart("t", values)
+        assert len(out.splitlines()) == len(values) + 1
+
+
+class TestGroupedBarChart:
+    def test_sections(self):
+        out = grouped_bar_chart("t", {
+            "g1": {"a": 1.0, "b": 2.0},
+            "g2": {"a": 3.0},
+        })
+        assert "[g1]" in out and "[g2]" in out
+        assert len(out.splitlines()) == 1 + 2 + 2 + 1
+
+    def test_shared_scale(self):
+        out = grouped_bar_chart("t", {
+            "g1": {"a": 10.0},
+            "g2": {"a": 5.0},
+        }, width=10)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bar_chart("t", {})
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_monotone_rises(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_length_matches(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_property_all_marks_valid(self, values):
+        line = sparkline(values)
+        assert len(line) == len(values)
+        assert set(line) <= set("▁▂▃▄▅▆▇█")

@@ -1,0 +1,133 @@
+"""Unit and property tests for Common Log Format parsing/formatting."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logs import (
+    CLFParseError,
+    LogRecord,
+    format_line,
+    parse_line,
+    parse_lines,
+    read_log,
+    write_log,
+)
+
+SAMPLE = '192.168.0.7 - frank [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326'
+
+
+class TestParseLine:
+    def test_sample_fields(self):
+        rec = parse_line(SAMPLE)
+        assert rec.host == "192.168.0.7"
+        assert rec.authuser == "frank"
+        assert rec.method == "GET"
+        assert rec.path == "/apache_pb.gif"
+        assert rec.protocol == "HTTP/1.0"
+        assert rec.status == 200
+        assert rec.size == 2326
+
+    def test_timezone_applied(self):
+        east = parse_line(SAMPLE.replace("-0700", "+0000"))
+        west = parse_line(SAMPLE)
+        assert west.timestamp - east.timestamp == 7 * 3600
+
+    def test_dash_size_is_zero(self):
+        rec = parse_line(SAMPLE.replace(" 200 2326", " 304 -"))
+        assert rec.size == 0
+        assert rec.status == 304
+
+    def test_missing_protocol_defaults(self):
+        line = '1.2.3.4 - - [10/Oct/2000:13:55:36 +0000] "GET /x" 200 10'
+        assert parse_line(line).protocol == "HTTP/1.0"
+
+    def test_referer_extension(self):
+        rec = parse_line(SAMPLE + ' "http://ref.example/"')
+        assert rec.referer == "http://ref.example/"
+
+    def test_dash_referer_is_none(self):
+        rec = parse_line(SAMPLE + ' "-"')
+        assert rec.referer is None
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "not a log line",
+        '1.2.3.4 - - [10/Xxx/2000:13:55:36 +0000] "GET /x HTTP/1.0" 200 10',
+        '1.2.3.4 - - [10/Oct/2000:13:55:36 +0000] "GET /x HTTP/1.0" abc 10',
+    ])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(CLFParseError):
+            parse_line(bad)
+
+    def test_parse_error_carries_line(self):
+        with pytest.raises(CLFParseError) as ei:
+            parse_line("garbage")
+        assert ei.value.line == "garbage"
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        rec = parse_line(SAMPLE)
+        again = parse_line(format_line(rec))
+        assert again == rec
+
+    host_st = st.from_regex(r"[a-z0-9.\-]{1,20}", fullmatch=True)
+    path_st = st.from_regex(r"/[A-Za-z0-9_.\-/]{0,40}", fullmatch=True)
+
+    @given(
+        host=host_st,
+        path=path_st,
+        ts=st.integers(min_value=0, max_value=4_000_000_000),
+        status=st.integers(min_value=100, max_value=599),
+        size=st.integers(min_value=0, max_value=10**9),
+        method=st.sampled_from(["GET", "POST", "HEAD"]),
+        proto=st.sampled_from(["HTTP/1.0", "HTTP/1.1"]),
+    )
+    def test_property_roundtrip(self, host, path, ts, status, size, method, proto):
+        rec = LogRecord(
+            host=host, timestamp=float(ts), method=method, path=path,
+            protocol=proto, status=status, size=size,
+        )
+        assert parse_line(format_line(rec)) == rec
+
+
+class TestStreams:
+    def test_parse_lines_skips_blanks(self):
+        lines = [SAMPLE, "", "   ", SAMPLE]
+        assert len(list(parse_lines(lines))) == 2
+
+    def test_parse_lines_strict_raises(self):
+        with pytest.raises(CLFParseError):
+            list(parse_lines([SAMPLE, "garbage"]))
+
+    def test_parse_lines_lenient_drops(self):
+        recs = list(parse_lines([SAMPLE, "garbage", SAMPLE], strict=False))
+        assert len(recs) == 2
+
+    def test_write_then_read(self):
+        recs = [parse_line(SAMPLE)] * 3
+        buf = io.StringIO()
+        assert write_log(buf, recs) == 3
+        buf.seek(0)
+        assert read_log(buf) == recs
+
+
+class TestCombinedAgent:
+    def test_referer_and_agent(self):
+        rec = parse_line(SAMPLE + ' "http://ref/" "Mozilla/5.0 (X11)"')
+        assert rec.referer == "http://ref/"
+        assert rec.agent == "Mozilla/5.0 (X11)"
+
+    def test_agent_with_dash_referer(self):
+        rec = parse_line(SAMPLE + ' "-" "curl/8"')
+        assert rec.referer is None
+        assert rec.agent == "curl/8"
+
+    def test_agent_roundtrip(self):
+        rec = parse_line(SAMPLE + ' "-" "curl/8"')
+        assert parse_line(format_line(rec)) == rec
+
+    def test_plain_clf_has_no_agent(self):
+        assert parse_line(SAMPLE).agent is None

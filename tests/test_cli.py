@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workload_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("clitest")
+    rc = main(["workload", "synthetic", "--scale", "0.02",
+               "--out-dir", str(d)])
+    assert rc == 0
+    return d
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "x.log",
+                                       "--policy", "bogus"])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for cmd in ("workload", "mine", "simulate", "compare",
+                    "report", "table1"):
+            args = parser.parse_args(
+                [cmd] + (["synthetic"] if cmd == "workload" else
+                         ["x.log"] if cmd in ("mine", "simulate",
+                                              "compare") else []))
+            assert args.command == cmd
+
+
+class TestWorkloadCommand:
+    def test_writes_both_logs(self, workload_dir, capsys):
+        assert (workload_dir / "training.log").exists()
+        assert (workload_dir / "access.log").exists()
+        lines = (workload_dir / "access.log").read_text().splitlines()
+        assert len(lines) > 100
+        assert '"GET /' in lines[0]
+
+
+class TestMineCommand:
+    def test_report_contents(self, workload_dir, capsys):
+        rc = main(["mine", str(workload_dir / "training.log"),
+                   "--top", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dependency graph" in out
+        assert "bundles:" in out
+        assert "top files by hits:" in out
+
+    def test_missing_file_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["mine", str(tmp_path / "nope.log")])
+
+    def test_garbage_log_fails(self, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("this is not a log\n")
+        with pytest.raises(SystemExit, match="no parsable"):
+            main(["mine", str(bad)])
+
+
+class TestSimulateCommand:
+    def test_simulate_prord(self, workload_dir, capsys):
+        rc = main(["simulate", str(workload_dir / "access.log"),
+                   "--policy", "prord", "--backends", "4",
+                   "--cache-mb", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "prord" in out
+        assert "completed" in out
+
+    def test_too_short_log_fails(self, tmp_path):
+        log = tmp_path / "one.log"
+        log.write_text(
+            '1.2.3.4 - - [10/Oct/2000:13:55:36 +0000] '
+            '"GET /a HTTP/1.1" 200 100\n')
+        with pytest.raises(SystemExit, match="too short"):
+            main(["simulate", str(log)])
+
+
+class TestCompareCommand:
+    def test_compare_two_policies(self, workload_dir, capsys):
+        rc = main(["compare", str(workload_dir / "access.log"),
+                   "--policies", "wrr", "lard", "--backends", "4",
+                   "--cache-mb", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wrr" in out and "lard" in out
+
+
+class TestTable1Command:
+    def test_prints_table(self, capsys):
+        rc = main(["table1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TCP handoff latency" in out

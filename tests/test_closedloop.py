@@ -1,0 +1,164 @@
+"""Tests for the closed-loop client driver and cluster injection mode."""
+
+import pytest
+
+from repro.core import SimulationParams, mine_components
+from repro.logs import Request, SiteSpec, TrafficSpec, build_site, synthetic_workload
+from repro.policies import LARDPolicy, PRORDPolicy, WRRPolicy, ReplicationEngine
+from repro.sim import ClosedLoopDriver, ClusterSimulator, run_closed_loop
+
+
+@pytest.fixture(scope="module")
+def small_site():
+    return build_site(SiteSpec(categories=("x", "y"), pages_per_category=20,
+                               seed=9))
+
+
+def fast_spec():
+    return TrafficSpec(think_time_mean=0.05, mean_session_pages=3,
+                       max_session_pages=6, embedded_gap=0.005)
+
+
+class TestInjectionMode:
+    def test_requires_catalog_and_window(self):
+        with pytest.raises(ValueError, match="catalog"):
+            ClusterSimulator(None, WRRPolicy(),
+                             SimulationParams(n_backends=1),
+                             window_s=1.0)
+        with pytest.raises(ValueError, match="window_s"):
+            ClusterSimulator(None, WRRPolicy(),
+                             SimulationParams(n_backends=1),
+                             catalog={"/a": 100})
+
+    def test_run_rejected_in_injection_mode(self):
+        c = ClusterSimulator(None, WRRPolicy(),
+                             SimulationParams(n_backends=1),
+                             catalog={"/a": 100}, window_s=1.0)
+        with pytest.raises(RuntimeError, match="injection-mode"):
+            c.run()
+
+    def test_inject_with_callback(self):
+        c = ClusterSimulator(None, WRRPolicy(),
+                             SimulationParams(n_backends=2,
+                                              cache_bytes=1 << 20),
+                             catalog={"/a": 1024}, window_s=1.0)
+        done = []
+        c.inject(Request(arrival=0.0, conn_id=0, path="/a", size=1024),
+                 on_complete=lambda sid, hit: done.append((sid, hit)))
+        c.sim.run()
+        assert done == [(0, False)]
+        assert c.metrics.completed == 1
+
+    def test_explicit_connection_close(self):
+        policy = WRRPolicy()
+        c = ClusterSimulator(None, policy,
+                             SimulationParams(n_backends=2,
+                                              cache_bytes=1 << 20),
+                             catalog={"/a": 1024}, window_s=1.0)
+        c.inject(Request(arrival=0.0, conn_id=0, path="/a", size=1024))
+        c.sim.run()
+        # Connection not closed yet: WRR still remembers it.
+        assert 0 in policy._conn_server
+        c.close_connection(0)
+        assert 0 not in policy._conn_server
+
+    def test_close_before_completion_defers(self):
+        policy = WRRPolicy()
+        c = ClusterSimulator(None, policy,
+                             SimulationParams(n_backends=1,
+                                              cache_bytes=1 << 20),
+                             catalog={"/a": 1024}, window_s=1.0)
+        c.inject(Request(arrival=0.0, conn_id=0, path="/a", size=1024))
+        c.close_connection(0)      # still in flight
+        assert 0 in policy._conn_server
+        c.sim.run()
+        assert 0 not in policy._conn_server
+
+
+class TestClosedLoopDriver:
+    def test_validation(self, small_site):
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(small_site, WRRPolicy(), concurrency=0)
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(small_site, WRRPolicy(), duration_s=0)
+
+    def test_runs_once(self, small_site):
+        d = ClosedLoopDriver(small_site, WRRPolicy(),
+                             SimulationParams(n_backends=2,
+                                              cache_bytes=1 << 20),
+                             concurrency=4, duration_s=0.5,
+                             spec=fast_spec())
+        d.run()
+        with pytest.raises(RuntimeError):
+            d.run()
+
+    def test_deterministic(self, small_site):
+        def once():
+            return run_closed_loop(
+                small_site, LARDPolicy(),
+                SimulationParams(n_backends=2, cache_bytes=1 << 20),
+                concurrency=8, duration_s=1.0, spec=fast_spec(), seed=5)
+        assert once().report == once().report
+
+    def test_sessions_replaced_within_window(self, small_site):
+        d = ClosedLoopDriver(small_site, WRRPolicy(),
+                             SimulationParams(n_backends=2,
+                                              cache_bytes=1 << 20),
+                             concurrency=6, duration_s=2.0,
+                             spec=fast_spec())
+        d.run()
+        # With ~0.2 s sessions over 2 s, far more sessions than the
+        # initial population must have completed.
+        assert d.sessions_completed > 12
+        assert d.page_views >= d.sessions_completed
+
+    def test_system_drains_completely(self, small_site):
+        d = ClosedLoopDriver(small_site, LARDPolicy(),
+                             SimulationParams(n_backends=2,
+                                              cache_bytes=1 << 20),
+                             concurrency=10, duration_s=1.0,
+                             spec=fast_spec())
+        d.run()
+        assert d.cluster.sim.pending_events == 0
+        assert all(s.active == 0 for s in d.cluster.servers)
+
+    def test_throughput_saturates_with_concurrency(self, small_site):
+        params = SimulationParams(n_backends=2, cache_bytes=1 << 20)
+        low = run_closed_loop(small_site, LARDPolicy(), params,
+                              concurrency=2, duration_s=1.5,
+                              spec=fast_spec())
+        high = run_closed_loop(small_site, LARDPolicy(), params,
+                               concurrency=64, duration_s=1.5,
+                               spec=fast_spec())
+        assert high.throughput_rps > 2 * low.throughput_rps
+        assert high.mean_response_s >= low.mean_response_s
+
+    def test_prord_with_replication(self):
+        w = synthetic_workload(scale=0.03)
+        params = SimulationParams(
+            n_backends=4,
+            cache_bytes=int(0.3 * w.site_bytes / 4),
+            replication_interval_s=0.5,
+        )
+        mining = mine_components(w, params)
+        policy = PRORDPolicy(mining.components)
+        replicator = ReplicationEngine()
+        result = run_closed_loop(
+            w.site, policy, params,
+            concurrency=32, duration_s=2.0, spec=fast_spec(),
+            replicator=replicator,
+        )
+        assert result.report.completed > 500
+        assert replicator.rounds >= 2
+        assert result.report.prefetches_issued > 0
+
+    def test_dynamic_pages_served(self):
+        site = build_site(SiteSpec(categories=("a",), pages_per_category=20,
+                                   dynamic_fraction=0.5, seed=3))
+        d = ClosedLoopDriver(site, WRRPolicy(),
+                             SimulationParams(n_backends=2,
+                                              cache_bytes=1 << 20),
+                             concurrency=8, duration_s=1.0,
+                             spec=fast_spec())
+        d.run()
+        assert sum(s.dynamic_served for s in d.cluster.servers) > 0

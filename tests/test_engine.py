@@ -1,0 +1,203 @@
+"""Tests for the discrete-event engine and the priority resource."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import PRIORITY_DEMAND, PRIORITY_PREFETCH, Resource, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(3.0, lambda: log.append("c"))
+        sim.schedule_at(1.0, lambda: log.append("a"))
+        sim.schedule_at(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+        assert sim.events_processed == 3
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_schedule_relative(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError, match="past"):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: log.append(("inner", sim.now)))
+        sim.schedule_at(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append(1))
+        sim.schedule_at(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+        sim.run()
+        assert log == [1, 10]
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.step()
+        assert not sim.step()
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_property_monotonic_clock(self, times):
+        sim = Simulator()
+        observed = []
+        for t in times:
+            sim.schedule_at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(times)
+
+
+class TestResource:
+    def test_fifo_service(self):
+        sim = Simulator()
+        res = Resource(sim)
+        done = []
+        res.submit(1.0, lambda: done.append(("a", sim.now)))
+        res.submit(2.0, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 3.0)]
+        assert res.jobs_served == 2
+        assert res.busy_time == pytest.approx(3.0)
+
+    def test_negative_service_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim).submit(-1.0, lambda: None)
+
+    def test_priority_ordering(self):
+        sim = Simulator()
+        res = Resource(sim)
+        done = []
+        # First job starts immediately; others queue and demand must win.
+        res.submit(1.0, lambda: done.append("first"))
+        res.submit(1.0, lambda: done.append("prefetch"),
+                   priority=PRIORITY_PREFETCH)
+        res.submit(1.0, lambda: done.append("demand"))
+        sim.run()
+        assert done == ["first", "demand", "prefetch"]
+
+    def test_in_service_job_not_preempted(self):
+        sim = Simulator()
+        res = Resource(sim)
+        done = []
+        res.submit(5.0, lambda: done.append("long-prefetch"),
+                   priority=PRIORITY_PREFETCH)
+        sim.schedule_at(1.0, lambda: res.submit(
+            1.0, lambda: done.append("demand")))
+        sim.run()
+        assert done == ["long-prefetch", "demand"]
+        assert sim.now == 6.0
+
+    def test_promote_queued_job(self):
+        sim = Simulator()
+        res = Resource(sim)
+        done = []
+        res.submit(1.0, lambda: done.append("running"))
+        pf = res.submit(1.0, lambda: done.append("promoted"),
+                        priority=PRIORITY_PREFETCH)
+        res.submit(1.0, lambda: done.append("demand"))
+        assert res.promote(pf)
+        sim.run()
+        assert done == ["running", "promoted", "demand"]
+
+    def test_promote_started_job_is_noop(self):
+        sim = Simulator()
+        res = Resource(sim)
+        job = res.submit(1.0, lambda: None, priority=PRIORITY_PREFETCH)
+        # The job starts immediately (empty queue).
+        assert not res.promote(job)
+
+    def test_promote_demand_job_is_noop(self):
+        sim = Simulator()
+        res = Resource(sim)
+        res.submit(1.0, lambda: None)
+        job = res.submit(1.0, lambda: None)
+        assert not res.promote(job)
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = Resource(sim)
+        res.submit(2.0, lambda: None)
+        sim.run()
+        sim.schedule_at(4.0, lambda: None)
+        sim.run()
+        assert res.utilization(4.0) == pytest.approx(0.5)
+        assert res.utilization(0.0) == 0.0
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim)
+        res.submit(1.0, lambda: None)
+        res.submit(1.0, lambda: None)
+        res.submit(1.0, lambda: None)
+        assert res.queue_length == 2
+        assert res.busy
+        sim.run()
+        assert res.queue_length == 0
+        assert not res.busy
+
+    def test_completion_callback_can_resubmit(self):
+        sim = Simulator()
+        res = Resource(sim)
+        count = []
+        def resubmit():
+            count.append(sim.now)
+            if len(count) < 3:
+                res.submit(1.0, resubmit)
+        res.submit(1.0, resubmit)
+        sim.run()
+        assert count == [1.0, 2.0, 3.0]
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.01, max_value=10, allow_nan=False),
+        st.sampled_from([PRIORITY_DEMAND, PRIORITY_PREFETCH])),
+        min_size=1, max_size=30))
+    def test_property_work_conservation(self, jobs):
+        sim = Simulator()
+        res = Resource(sim)
+        done = []
+        for service, prio in jobs:
+            res.submit(service, lambda: done.append(sim.now), priority=prio)
+        sim.run()
+        total = sum(s for s, _ in jobs)
+        assert len(done) == len(jobs)
+        # A single-server work-conserving queue finishes exactly at the
+        # sum of service times when all jobs arrive at t=0.
+        assert max(done) == pytest.approx(total)
+        assert res.busy_time == pytest.approx(total)

@@ -1,0 +1,41 @@
+"""Paper-size smoke test (opt-in: set REPRO_FULLSCALE=1).
+
+The regular suite uses scaled-down traces for speed.  This module runs
+the paper-size WorldCup workload (897,498 requests over ~3.8 k files)
+end to end — generation, mining, one PRORD simulation — to prove the
+implementation holds up at the published scale.  Takes a few minutes,
+so it is skipped unless explicitly requested:
+
+    REPRO_FULLSCALE=1 pytest tests/test_fullscale.py -s
+"""
+
+import os
+
+import pytest
+
+from repro.core import SimulationParams, mine_components, run_policy
+from repro.logs import worldcup_workload
+
+fullscale = pytest.mark.skipif(
+    os.environ.get("REPRO_FULLSCALE") != "1",
+    reason="paper-size run; set REPRO_FULLSCALE=1 to enable",
+)
+
+
+@fullscale
+def test_worldcup_paper_size():
+    workload = worldcup_workload(scale=1.0)
+    # The paper's stated numbers: 897,498 requests for ~3,809 files.
+    assert len(workload.trace) >= 890_000
+    assert 3_000 < workload.num_files < 4_600
+
+    params = SimulationParams(n_backends=8)
+    mining = mine_components(workload, params)
+    assert mining.num_sessions > 10_000
+
+    result = run_policy(workload, "prord", params, mining=mining,
+                        cache_fraction=0.3)
+    print(result.summary())
+    assert result.report.completed == len(workload.trace)
+    assert result.hit_rate > 0.5
+    assert result.report.dispatch_frequency < 0.2

@@ -1,0 +1,75 @@
+"""Tests for the power-management extension."""
+
+import pytest
+
+from repro.core import SimulationParams
+from repro.logs import Request, Trace
+from repro.policies import WRRPolicy
+from repro.sim import ClusterSimulator
+
+
+def burst_then_idle_trace():
+    """A burst of requests, then a long idle gap, then one request."""
+    reqs = [Request(arrival=i * 0.001, conn_id=i, path="/a", size=1024)
+            for i in range(10)]
+    reqs.append(Request(arrival=60.0, conn_id=99, path="/a", size=1024))
+    return Trace(reqs, name="burst")
+
+
+class TestPowerOff:
+    def test_no_management_no_wakeups(self):
+        p = SimulationParams(n_backends=2, cache_bytes=1 << 20,
+                             power_management=False)
+        result = ClusterSimulator(burst_then_idle_trace(), WRRPolicy(), p,
+                                  warmup_fraction=0.0).run()
+        assert result.power.wakeups == 0
+        assert result.power.hibernating_seconds == 0.0
+        # Energy = full power for the whole run on both servers.
+        assert result.power.mean_power == pytest.approx(1.0)
+
+
+class TestPowerOn:
+    def make(self):
+        p = SimulationParams(
+            n_backends=2, cache_bytes=1 << 20,
+            power_management=True,
+            hibernate_after_s=1.0, wakeup_latency_s=0.5,
+        )
+        return ClusterSimulator(burst_then_idle_trace(), WRRPolicy(), p,
+                                warmup_fraction=0.0).run()
+
+    def test_idle_servers_hibernate(self):
+        result = self.make()
+        assert result.power.hibernating_seconds > 50.0
+        assert result.power.mean_power < 0.5
+
+    def test_wakeup_counted(self):
+        result = self.make()
+        assert result.power.wakeups >= 1
+
+    def test_wakeup_latency_hits_response_time(self):
+        p_on = SimulationParams(n_backends=2, cache_bytes=1 << 20,
+                                power_management=True,
+                                hibernate_after_s=1.0,
+                                wakeup_latency_s=0.5)
+        p_off = SimulationParams(n_backends=2, cache_bytes=1 << 20,
+                                 power_management=False)
+        c_on = ClusterSimulator(burst_then_idle_trace(), WRRPolicy(), p_on,
+                                warmup_fraction=0.0)
+        c_off = ClusterSimulator(burst_then_idle_trace(), WRRPolicy(),
+                                 p_off, warmup_fraction=0.0)
+        r_on, r_off = c_on.run(), c_off.run()
+        late_on = max(x.response_time for x in c_on.metrics.records)
+        late_off = max(x.response_time for x in c_off.metrics.records)
+        assert late_on >= late_off + 0.45
+
+    def test_energy_lower_with_management(self):
+        p_on = SimulationParams(n_backends=2, cache_bytes=1 << 20,
+                                power_management=True,
+                                hibernate_after_s=1.0)
+        p_off = SimulationParams(n_backends=2, cache_bytes=1 << 20)
+        e_on = ClusterSimulator(burst_then_idle_trace(), WRRPolicy(),
+                                p_on, warmup_fraction=0.0).run()
+        e_off = ClusterSimulator(burst_then_idle_trace(), WRRPolicy(),
+                                 p_off, warmup_fraction=0.0).run()
+        assert e_on.power.energy_units < 0.3 * e_off.power.energy_units

@@ -1,0 +1,190 @@
+"""Tests for usage reports, DOT export, and workload persistence."""
+
+import json
+
+import pytest
+
+from repro.logs import (
+    LogRecord,
+    SiteSpec,
+    build_site,
+    load_site,
+    load_workload,
+    save_site,
+    save_workload,
+    site_from_dict,
+    site_to_dict,
+    synthetic_workload,
+)
+from repro.mining import BundleTable, DependencyGraph, analyze_log
+from repro.mining.export import bundle_table_to_dot, depgraph_to_dot
+
+
+def rec(host, t, path, status=200, size=100):
+    return LogRecord(host=host, timestamp=float(t), method="GET", path=path,
+                     protocol="HTTP/1.1", status=status, size=size)
+
+
+class TestAnalyzeLog:
+    def make_log(self):
+        recs = []
+        for u in range(3):
+            base = u * 10_000
+            recs += [
+                rec(f"u{u}", base, "/news/index.html"),
+                rec(f"u{u}", base + 1, "/news/img.gif"),
+                rec(f"u{u}", base + 30, "/sports/page.html"),
+                rec(f"u{u}", base + 60, "/search?q=x"),
+            ]
+        recs.append(rec("u0", 100, "/missing.html", status=404))
+        return recs
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_log([])
+
+    def test_counts(self):
+        report = analyze_log(self.make_log())
+        assert report.requests == 13
+        assert report.distinct_clients == 3
+        assert report.sessions == 3
+        assert report.error_fraction == pytest.approx(1 / 13)
+        assert report.embedded_fraction == pytest.approx(3 / 13)
+        assert report.dynamic_fraction == pytest.approx(3 / 13)
+
+    def test_entries_and_exits(self):
+        report = analyze_log(self.make_log())
+        assert report.top_entry_pages[0][0] == "/news/index.html"
+        # u0's 404 at t=100 merges into its session; exits still end on
+        # the last successful page of each session.
+        exits = dict(report.top_exit_pages)
+        assert "/search?q=x" in exits
+
+    def test_section_share_sums_to_one(self):
+        report = analyze_log(self.make_log())
+        assert sum(s for _, s in report.section_share) == pytest.approx(1.0)
+
+    def test_hourly_histogram(self):
+        report = analyze_log(self.make_log())
+        assert len(report.hourly_requests) == 24
+        assert sum(report.hourly_requests) == report.requests
+        assert 0 <= report.peak_hour < 24
+
+    def test_format_is_readable(self):
+        text = analyze_log(self.make_log()).format()
+        assert "Site usage report" in text
+        assert "top pages:" in text
+        assert "traffic by section:" in text
+
+    def test_on_synthetic_workload(self):
+        w = synthetic_workload(scale=0.02)
+        report = analyze_log(w.training_records)
+        assert report.sessions > 10
+        assert 0.5 < report.embedded_fraction < 0.9
+
+
+class TestDotExport:
+    def graph(self):
+        g = DependencyGraph(order=2)
+        for _ in range(8):
+            g.add_sequence(["/a", "/b", "/c"])
+        g.add_sequence(["/a", "/d"])
+        return g
+
+    def test_depgraph_dot_structure(self):
+        dot = depgraph_to_dot(self.graph(), min_confidence=0.0)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"/a" -> "/b"' in dot
+        assert 'label="89%"' in dot  # 8/9 a->b
+
+    def test_min_confidence_filters_edges(self):
+        dot = depgraph_to_dot(self.graph(), min_confidence=0.5)
+        assert '"/a" -> "/d"' not in dot
+
+    def test_max_nodes_caps(self):
+        g = DependencyGraph()
+        for i in range(30):
+            g.add_sequence([f"/p{i}", f"/p{i+1}"])
+        dot = depgraph_to_dot(g, max_nodes=5)
+        node_lines = [l for l in dot.splitlines()
+                      if l.strip().endswith(";") and "->" not in l
+                      and "node [" not in l and "label=" not in l
+                      and "rankdir" not in l]
+        assert len(node_lines) <= 5
+
+    def test_quoting(self):
+        g = DependencyGraph()
+        g.add_sequence(['/a"b', "/c"])
+        dot = depgraph_to_dot(g, min_confidence=0.0)
+        assert '\\"' in dot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            depgraph_to_dot(self.graph(), min_confidence=2.0)
+        with pytest.raises(ValueError):
+            depgraph_to_dot(self.graph(), max_nodes=0)
+        with pytest.raises(ValueError):
+            bundle_table_to_dot(BundleTable({}), max_pages=0)
+
+    def test_bundle_dot(self):
+        table = BundleTable({"/p.html": ("/a.gif", "/b.gif")})
+        dot = bundle_table_to_dot(table)
+        assert '"/p.html" -> "/a.gif"' in dot
+        assert "shape=ellipse" in dot
+
+
+class TestSiteRoundTrip:
+    def test_dict_roundtrip(self):
+        site = build_site(SiteSpec(categories=("x", "y"),
+                                   pages_per_category=8,
+                                   dynamic_fraction=0.2, seed=3))
+        again = site_from_dict(site_to_dict(site))
+        assert again.object_sizes() == site.object_sizes()
+        assert again.bundles() == site.bundles()
+        assert [c.name for c in again.categories] == \
+            [c.name for c in site.categories]
+        assert {p.path for p in again.pages.values() if p.dynamic} == \
+            {p.path for p in site.pages.values() if p.dynamic}
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="format version"):
+            site_from_dict({"format_version": 99, "pages": []})
+
+    def test_file_roundtrip(self, tmp_path):
+        site = build_site(SiteSpec(categories=("x",), pages_per_category=5))
+        save_site(site, tmp_path / "site.json")
+        again = load_site(tmp_path / "site.json")
+        assert again.object_sizes() == site.object_sizes()
+        # The file is real JSON.
+        json.loads((tmp_path / "site.json").read_text())
+
+
+class TestWorkloadRoundTrip:
+    def test_save_load(self, tmp_path):
+        w = synthetic_workload(scale=0.02)
+        out = save_workload(w, tmp_path / "wl")
+        assert (out / "site.json").exists()
+        assert (out / "training.log").exists()
+        assert (out / "access.log").exists()
+        again = load_workload(out)
+        assert again.site.object_sizes() == w.site.object_sizes()
+        assert len(again.training_records) == len(w.training_records)
+        # CLF truncates to whole seconds, so counts (not times) match.
+        assert len(again.trace) == len(w.trace)
+        assert set(again.trace.catalog) == set(w.trace.catalog)
+
+    def test_loaded_workload_simulates(self, tmp_path):
+        from repro.core import SimulationParams, run_policy
+        w = synthetic_workload(scale=0.02)
+        again = load_workload(save_workload(w, tmp_path / "wl"))
+        result = run_policy(again, "lard", SimulationParams(n_backends=2),
+                            cache_fraction=0.3)
+        assert result.report.completed > 100
+
+    def test_missing_eval_rejected(self, tmp_path):
+        w = synthetic_workload(scale=0.02)
+        out = save_workload(w, tmp_path / "wl")
+        (out / "access.log").write_text("")
+        with pytest.raises(ValueError, match="no evaluation records"):
+            load_workload(out)

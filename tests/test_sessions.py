@@ -1,0 +1,131 @@
+"""Tests for session reconstruction and trace building."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logs import (
+    LogRecord,
+    looks_embedded,
+    page_sequences,
+    sessionize,
+    trace_from_records,
+)
+
+
+def rec(host, t, path, status=200, size=100):
+    return LogRecord(host=host, timestamp=float(t), method="GET", path=path,
+                     protocol="HTTP/1.1", status=status, size=size)
+
+
+class TestLooksEmbedded:
+    @pytest.mark.parametrize("path", [
+        "/a/x.gif", "/a/x.JPG", "/s.css", "/j.js", "/v.mpg", "/a.class",
+    ])
+    def test_embedded(self, path):
+        assert looks_embedded(path)
+
+    @pytest.mark.parametrize("path", [
+        "/index.html", "/page", "/a/b.htm", "/cgi/query.cgi", "/",
+    ])
+    def test_not_embedded(self, path):
+        assert not looks_embedded(path)
+
+
+class TestSessionize:
+    def test_single_session(self):
+        recs = [rec("h", i, f"/p{i}.html") for i in range(3)]
+        (s,) = sessionize(recs)
+        assert s.client == "h"
+        assert s.paths() == ["/p0.html", "/p1.html", "/p2.html"]
+        assert s.duration == 2.0
+
+    def test_timeout_splits(self):
+        recs = [rec("h", 0, "/a.html"), rec("h", 100, "/b.html")]
+        assert len(sessionize(recs, timeout=50)) == 2
+        assert len(sessionize(recs, timeout=150)) == 1
+
+    def test_boundary_gap_equal_timeout_stays(self):
+        recs = [rec("h", 0, "/a.html"), rec("h", 50, "/b.html")]
+        assert len(sessionize(recs, timeout=50)) == 1
+
+    def test_clients_separated(self):
+        recs = [rec("h1", 0, "/a.html"), rec("h2", 1, "/b.html")]
+        ss = sessionize(recs)
+        assert {s.client for s in ss} == {"h1", "h2"}
+
+    def test_unsorted_input_sorted_per_client(self):
+        recs = [rec("h", 5, "/b.html"), rec("h", 1, "/a.html")]
+        (s,) = sessionize(recs)
+        assert s.paths() == ["/a.html", "/b.html"]
+
+    def test_failures_filtered(self):
+        recs = [rec("h", 0, "/a.html"), rec("h", 1, "/nope.html", status=404)]
+        (s,) = sessionize(recs)
+        assert s.paths() == ["/a.html"]
+        (s2,) = sessionize(recs, successful_only=False)
+        assert len(s2) == 2
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            sessionize([], timeout=0)
+
+    def test_sessions_sorted_by_start(self):
+        recs = [rec("b", 10, "/x.html"), rec("a", 0, "/y.html")]
+        ss = sessionize(recs)
+        assert [s.client for s in ss] == ["a", "b"]
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["u1", "u2", "u3"]),
+                  st.floats(min_value=0, max_value=1e5, allow_nan=False)),
+        min_size=1, max_size=60))
+    def test_property_partition(self, pairs):
+        recs = [rec(h, t, "/p.html") for h, t in pairs]
+        ss = sessionize(recs, timeout=500.0)
+        # Every record lands in exactly one session.
+        assert sum(len(s) for s in ss) == len(recs)
+        for s in ss:
+            times = [r.timestamp for r in s.records]
+            assert times == sorted(times)
+            assert all(b - a <= 500.0 for a, b in zip(times, times[1:]))
+
+
+class TestPageSequences:
+    def test_filters_embedded(self):
+        recs = [rec("h", 0, "/a.html"), rec("h", 1, "/a_img0.gif"),
+                rec("h", 2, "/b.html")]
+        (s,) = sessionize(recs)
+        assert page_sequences([s]) == [["/a.html", "/b.html"]]
+
+    def test_min_length(self):
+        recs = [rec("h", 0, "/a.html")]
+        ss = sessionize(recs)
+        assert page_sequences(ss, min_length=2) == []
+
+
+class TestTraceFromRecords:
+    def test_embedded_tagged_with_parent(self):
+        recs = [rec("h", 0, "/a.html"), rec("h", 0.1, "/x.gif"),
+                rec("h", 5, "/b.html"), rec("h", 5.1, "/y.gif")]
+        trace = trace_from_records(recs)
+        by_path = {r.path: r for r in trace}
+        assert by_path["/x.gif"].is_embedded
+        assert by_path["/x.gif"].parent == "/a.html"
+        assert by_path["/y.gif"].parent == "/b.html"
+        assert not by_path["/a.html"].is_embedded
+
+    def test_one_connection_per_session(self):
+        recs = [rec("h", 0, "/a.html"), rec("h", 10_000, "/b.html")]
+        trace = trace_from_records(recs, timeout=100)
+        assert len(trace.connection_ids()) == 2
+
+    def test_zero_size_clamped(self):
+        recs = [rec("h", 0, "/a.html", size=0)]
+        trace = trace_from_records(recs)
+        assert trace[0].size == 1
+
+    def test_arrivals_sorted(self):
+        recs = [rec("h2", 3, "/c.html"), rec("h1", 1, "/a.html"),
+                rec("h1", 2, "/b.html")]
+        trace = trace_from_records(recs)
+        arr = [r.arrival for r in trace]
+        assert arr == sorted(arr)

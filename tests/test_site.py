@@ -1,0 +1,105 @@
+"""Tests for the website model and site builder."""
+
+import pytest
+
+from repro.logs import Category, EmbeddedObject, Page, SiteSpec, Website, build_site
+
+
+def page(path, size=1000, embedded=(), links=()):
+    return Page(path=path, size=size, embedded=tuple(embedded),
+                links=tuple(links))
+
+
+class TestWebsiteValidation:
+    def test_duplicate_page_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Website([page("/a"), page("/a")])
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Website([page("/a", links=("/nope",))])
+
+    def test_category_unknown_page_rejected(self):
+        with pytest.raises(ValueError, match="unknown page"):
+            Website([page("/a")],
+                    [Category("c", ("/nope",), ("/a",))])
+
+    def test_shared_embedded_object_rejected(self):
+        obj = EmbeddedObject("/shared.gif", 10)
+        with pytest.raises(ValueError, match="two bundles"):
+            Website([page("/a", embedded=[obj]), page("/b", embedded=[obj])])
+
+    def test_embedded_collides_with_page_rejected(self):
+        obj = EmbeddedObject("/b", 10)
+        with pytest.raises(ValueError, match="collides"):
+            Website([page("/a", embedded=[obj]), page("/b")])
+
+
+class TestWebsiteQueries:
+    def make(self):
+        objs = [EmbeddedObject("/a_i.gif", 50), EmbeddedObject("/a_j.gif", 70)]
+        return Website(
+            [page("/a", 100, objs, links=("/b",)), page("/b", 200)],
+            [Category("cat", ("/a",), ("/a", "/b"))],
+        )
+
+    def test_object_sizes_and_totals(self):
+        site = self.make()
+        sizes = site.object_sizes()
+        assert sizes == {"/a": 100, "/a_i.gif": 50, "/a_j.gif": 70, "/b": 200}
+        assert site.total_bytes == 420
+        assert site.num_objects == 4
+
+    def test_bundles(self):
+        site = self.make()
+        assert site.bundles() == {"/a": ("/a_i.gif", "/a_j.gif"), "/b": ()}
+
+    def test_bundle_bytes(self):
+        site = self.make()
+        assert site.page("/a").bundle_bytes == 220
+
+    def test_contains_and_category(self):
+        site = self.make()
+        assert "/a" in site
+        assert "/zzz" not in site
+        assert site.category_of("/b") == "cat"
+        assert site.category_of("/zzz") is None
+
+
+class TestBuildSite:
+    def test_default_structure(self):
+        site = build_site()
+        spec = SiteSpec()
+        assert len(site.pages) == len(spec.categories) * spec.pages_per_category
+        assert len(site.categories) == len(spec.categories)
+        for cat in site.categories:
+            assert cat.entry_pages[0].endswith("/index.html")
+            assert len(cat.member_pages) == spec.pages_per_category
+
+    def test_deterministic(self):
+        a = build_site(SiteSpec(seed=3))
+        b = build_site(SiteSpec(seed=3))
+        assert a.object_sizes() == b.object_sizes()
+        assert a.bundles() == b.bundles()
+
+    def test_seed_changes_sizes(self):
+        a = build_site(SiteSpec(seed=3))
+        b = build_site(SiteSpec(seed=4))
+        assert a.object_sizes() != b.object_sizes()
+
+    def test_links_all_resolve(self):
+        site = build_site(SiteSpec(pages_per_category=10))
+        for p in site.pages.values():
+            for t in p.links:
+                assert t in site
+
+    def test_mean_sizes_near_spec(self):
+        spec = SiteSpec(pages_per_category=200, mean_page_size=8192)
+        site = build_site(spec)
+        sizes = [p.size for p in site.pages.values()]
+        mean = sum(sizes) / len(sizes)
+        assert 0.6 * spec.mean_page_size < mean < 1.6 * spec.mean_page_size
+
+    def test_too_few_pages_rejected(self):
+        with pytest.raises(ValueError):
+            build_site(SiteSpec(pages_per_category=1))

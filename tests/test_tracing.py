@@ -1,0 +1,113 @@
+"""Tests for the request-event tracer."""
+
+import json
+
+import pytest
+
+from repro.core import SimulationParams
+from repro.logs import Request, Trace
+from repro.policies import LARDPolicy, WRRPolicy
+from repro.sim import ClusterSimulator, RequestTracer
+
+
+def small_trace():
+    return Trace([
+        Request(arrival=0.0, conn_id=0, path="/a.html", size=2048),
+        Request(arrival=0.1, conn_id=0, path="/a.html", size=2048),
+        Request(arrival=0.2, conn_id=1, path="/b.html", size=2048),
+    ])
+
+
+class TestTracerUnit:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RequestTracer(capacity=0)
+
+    def test_unknown_kind_rejected(self):
+        t = RequestTracer()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            t.emit(0.0, "bogus", 0, "/a")
+
+    def test_emit_and_query(self):
+        t = RequestTracer()
+        t.emit(0.0, "arrival", 1, "/a", embedded=False)
+        t.emit(1.0, "complete", 1, "/a", hit=True)
+        t.emit(2.0, "arrival", 2, "/b")
+        assert len(t) == 3
+        assert len(t.events("arrival")) == 2
+        assert len(t.for_connection(1)) == 2
+        assert len(t.for_path("/b")) == 1
+        assert len(t.request_story(1, "/a")) == 2
+
+    def test_filters(self):
+        t = RequestTracer(path_filter=lambda p: p.endswith(".html"),
+                          conn_filter=lambda c: c == 7)
+        t.emit(0.0, "arrival", 7, "/x.html")
+        t.emit(0.0, "arrival", 7, "/x.gif")
+        t.emit(0.0, "arrival", 8, "/y.html")
+        assert len(t) == 1
+
+    def test_capacity_fifo(self):
+        t = RequestTracer(capacity=2)
+        for i in range(4):
+            t.emit(float(i), "arrival", i, "/a")
+        assert len(t) == 2
+        assert t.dropped == 2
+        assert [e.time for e in t] == [2.0, 3.0]
+
+    def test_jsonl_export(self):
+        t = RequestTracer()
+        t.emit(0.5, "routed", 3, "/a", server=2, dispatched=True)
+        lines = t.to_jsonl().splitlines()
+        obj = json.loads(lines[0])
+        assert obj["kind"] == "routed"
+        assert obj["server"] == 2
+        assert obj["dispatched"] is True
+
+    def test_summary(self):
+        t = RequestTracer()
+        t.emit(0.0, "arrival", 0, "/a")
+        t.emit(0.1, "complete", 0, "/a", hit=False)
+        s = t.summary()
+        assert s["arrival"] == 1
+        assert s["complete"] == 1
+        assert s["dropped"] == 0
+
+
+class TestClusterIntegration:
+    def test_lifecycle_recorded(self):
+        tracer = RequestTracer()
+        params = SimulationParams(n_backends=2, cache_bytes=1 << 20)
+        ClusterSimulator(small_trace(), LARDPolicy(), params,
+                         warmup_fraction=0.0, tracer=tracer).run()
+        s = tracer.summary()
+        assert s["arrival"] == 3
+        assert s["routed"] == 3
+        assert s["complete"] == 3
+
+    def test_story_shows_miss_then_hit(self):
+        tracer = RequestTracer()
+        params = SimulationParams(n_backends=2, cache_bytes=1 << 20)
+        ClusterSimulator(small_trace(), LARDPolicy(), params,
+                         warmup_fraction=0.0, tracer=tracer).run()
+        story = [e for e in tracer.request_story(0, "/a.html")
+                 if e.kind == "complete"]
+        hits = [dict(e.fields)["hit"] for e in story]
+        assert hits == [False, True]
+
+    def test_routed_fields(self):
+        tracer = RequestTracer()
+        params = SimulationParams(n_backends=2, cache_bytes=1 << 20)
+        ClusterSimulator(small_trace(), WRRPolicy(), params,
+                         warmup_fraction=0.0, tracer=tracer).run()
+        routed = tracer.events("routed")
+        fields = dict(routed[0].fields)
+        assert {"server", "dispatched", "handoff", "setup",
+                "relay", "prefetches"} <= set(fields)
+        assert fields["dispatched"] is False  # WRR never dispatches
+
+    def test_no_tracer_no_overhead_path(self):
+        params = SimulationParams(n_backends=2, cache_bytes=1 << 20)
+        result = ClusterSimulator(small_trace(), WRRPolicy(), params,
+                                  warmup_fraction=0.0).run()
+        assert result.report.completed == 3

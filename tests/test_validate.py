@@ -1,0 +1,120 @@
+"""Tests for log/trace validation diagnostics."""
+
+import pytest
+
+from repro.logs import (
+    Finding,
+    LogRecord,
+    Request,
+    Trace,
+    synthetic_workload,
+    validate_records,
+    validate_trace,
+)
+
+
+def rec(host="h", t=0.0, path="/a.html", status=200, size=1000,
+        method="GET"):
+    return LogRecord(host=host, timestamp=float(t), method=method,
+                     path=path, protocol="HTTP/1.1", status=status,
+                     size=size)
+
+
+class TestFinding:
+    def test_severity_validated(self):
+        with pytest.raises(ValueError):
+            Finding("catastrophic", "x", "y")
+
+
+class TestValidateRecords:
+    def test_empty_is_error(self):
+        report = validate_records([])
+        assert not report.ok
+        assert report.findings[0].code == "empty-log"
+
+    def test_clean_log(self):
+        recs = [rec(host=f"h{i % 5}", t=i * 2.0, path=f"/p{i % 9}.html")
+                for i in range(100)]
+        report = validate_records(recs)
+        assert report.ok
+        assert report.findings == ()
+        assert "clean" in report.format()
+
+    def test_unsorted_times_flagged(self):
+        recs = [rec(t=10), rec(t=5), rec(t=20)]
+        report = validate_records(recs)
+        assert any(f.code == "unsorted-times" for f in report.findings)
+        assert report.ok  # warning, not error
+
+    def test_zero_span_flagged(self):
+        recs = [rec(host="a"), rec(host="b")]
+        codes = {f.code for f in validate_records(recs).findings}
+        assert "zero-span" in codes
+
+    def test_zero_sizes_flagged(self):
+        recs = [rec(t=i, size=0) for i in range(3)]
+        codes = {f.code for f in validate_records(recs).findings}
+        assert "zero-sizes" in codes
+
+    def test_huge_sizes_flagged(self):
+        recs = [rec(t=0), rec(t=1, size=2 << 30)]
+        codes = {f.code for f in validate_records(recs).findings}
+        assert "huge-sizes" in codes
+
+    def test_high_error_rate_flagged(self):
+        recs = [rec(t=i, status=404) for i in range(8)] + [rec(t=9)]
+        codes = {f.code for f in validate_records(recs).findings}
+        assert "high-error-rate" in codes
+
+    def test_non_get_flagged(self):
+        recs = [rec(t=i, method="POST") for i in range(6)] + [rec(t=9)]
+        codes = {f.code for f in validate_records(recs).findings}
+        assert "non-get-heavy" in codes
+
+    def test_single_client_flagged(self):
+        recs = [rec(host="proxy", t=i) for i in range(60)]
+        codes = {f.code for f in validate_records(recs).findings}
+        assert "single-client" in codes
+
+    def test_varying_sizes_flagged(self):
+        recs = [rec(t=i, path="/d.cgi", size=100 + i) for i in range(5)]
+        codes = {f.code for f in validate_records(recs).findings}
+        assert "varying-sizes" in codes
+
+    def test_format_lists_findings(self):
+        recs = [rec(t=10), rec(t=5)]
+        text = validate_records(recs).format()
+        assert "unsorted-times" in text
+
+    def test_synthetic_workload_is_clean(self):
+        w = synthetic_workload(scale=0.02)
+        assert validate_records(w.training_records).ok
+
+
+class TestValidateTrace:
+    def test_empty_trace(self):
+        report = validate_trace(Trace([]))
+        assert not report.ok
+
+    def test_orphan_embedded_flagged(self):
+        t = Trace([Request(arrival=0.0, conn_id=0, path="/i.gif",
+                           size=100, is_embedded=True)])
+        codes = {f.code for f in validate_trace(t).findings}
+        assert "orphan-embedded" in codes
+
+    def test_giant_connection_flagged(self):
+        reqs = [Request(arrival=i * 0.01, conn_id=0, path=f"/p{i}.html",
+                        size=1000) for i in range(1100)]
+        codes = {f.code for f in validate_trace(Trace(reqs)).findings}
+        assert "giant-connection" in codes
+
+    def test_tiny_files_flagged(self):
+        reqs = [Request(arrival=float(i), conn_id=i, path=f"/p{i}",
+                        size=16) for i in range(5)]
+        codes = {f.code for f in validate_trace(Trace(reqs)).findings}
+        assert "tiny-files" in codes
+
+    def test_workload_trace_is_clean(self):
+        w = synthetic_workload(scale=0.02)
+        report = validate_trace(w.trace)
+        assert report.ok
