@@ -1,0 +1,42 @@
+"""Experiment-grid runner benchmark — emits ``BENCH_experiments.json``.
+
+Runs a small fig7-style grid (three workloads × four policies) through
+:func:`repro.experiments.run_grid` and writes the per-cell wall-clock /
+throughput / hit-rate artifact consumed by CI.  Set the
+``BENCH_EXPERIMENTS_JSON`` environment variable to redirect the
+artifact (default: repo root).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments import Cell, format_table, run_grid, write_bench_json
+
+from conftest import BENCH, run_once
+
+WORKLOADS = ("synthetic", "cs-department", "worldcup")
+POLICIES = ("wrr", "lard", "ext-lard-phttp", "prord")
+
+ARTIFACT = Path(os.environ.get(
+    "BENCH_EXPERIMENTS_JSON",
+    Path(__file__).resolve().parent.parent / "BENCH_experiments.json",
+))
+
+
+def test_experiment_grid(benchmark):
+    cells = [Cell(workload=w, policy=p)
+             for w in WORKLOADS for p in POLICIES]
+    results = run_once(benchmark, lambda: run_grid(cells, BENCH))
+    assert [r.cell for r in results] == cells
+    assert all(r.result.report.completed > 0 for r in results)
+    path = write_bench_json(results, ARTIFACT, label=f"grid-{BENCH.name}")
+    print()
+    print(format_table(
+        "Experiment grid (per-cell wall clock)",
+        ["workload", "policy", "wall (s)", "thr (rps)", "hit"],
+        [[r.cell.workload, r.cell.policy, f"{r.wall_clock_s:.2f}",
+          f"{r.result.throughput_rps:.0f}", f"{r.result.hit_rate:.1%}"]
+         for r in results]))
+    print(f"[wrote {path}]")

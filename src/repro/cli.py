@@ -232,7 +232,16 @@ def cmd_capacity(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from .experiments import FULL, QUICK
     from .experiments.report import run_all
-    run_all(FULL if args.full else QUICK)
+    run_all(FULL if args.full else QUICK, jobs=args.jobs)
+    return 0
+
+
+def cmd_fig(args: argparse.Namespace) -> int:
+    """Run one figure experiment (fig6..fig9), optionally in parallel."""
+    from .experiments import FULL, QUICK, fig6, fig7, fig8, fig9
+    module = {"fig6": fig6, "fig7": fig7,
+              "fig8": fig8, "fig9": fig9}[args.figure]
+    module.main(FULL if args.full else QUICK, jobs=args.jobs)
     return 0
 
 
@@ -327,10 +336,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="output file (default stdout)")
     p.set_defaults(func=cmd_export_dot)
 
+    def add_jobs_option(p):
+        p.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for the experiment grid "
+                            "(0 = serial; results are identical either way)")
+
     p = sub.add_parser("report", help="regenerate the paper's figures")
     p.add_argument("--full", action="store_true",
                    help="paper scale instead of quick scale")
+    add_jobs_option(p)
     p.set_defaults(func=cmd_report)
+
+    for figure in ("fig6", "fig7", "fig8", "fig9"):
+        p = sub.add_parser(figure,
+                           help=f"regenerate {figure} (grid runner)")
+        p.add_argument("--full", action="store_true",
+                       help="paper scale instead of quick scale")
+        add_jobs_option(p)
+        p.set_defaults(func=cmd_fig, figure=figure)
 
     p = sub.add_parser("table1", help="print the Table-1 parameter set")
     p.set_defaults(func=cmd_table1)

@@ -10,8 +10,9 @@ would be an import cycle.
 from .config import KB, MB, SimulationParams
 
 _SYSTEM_EXPORTS = (
-    "POLICY_NAMES", "MiningResult", "PRORDSystem", "build_policy",
-    "cache_bytes_for_fraction", "mine_components", "offered_rps",
+    "POLICY_NAMES", "MINING_POLICY_NAMES", "MinedModels", "MiningResult",
+    "PRORDSystem", "build_policy", "cache_bytes_for_fraction",
+    "mine_components", "mine_models", "offered_rps",
     "run_policy", "scale_to_offered_load",
 )
 

@@ -15,6 +15,7 @@ harness use.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from ..logs.records import Trace
@@ -35,9 +36,12 @@ from ..sim.cluster import ClusterSimulator, SimulationResult
 from .config import SimulationParams
 
 __all__ = [
+    "MinedModels",
     "MiningResult",
+    "mine_models",
     "mine_components",
     "POLICY_NAMES",
+    "MINING_POLICY_NAMES",
     "build_policy",
     "offered_rps",
     "scale_to_offered_load",
@@ -49,7 +53,14 @@ __all__ = [
 
 @dataclass(slots=True)
 class MiningResult:
-    """Everything the offline mining pass produced."""
+    """Per-run mining state handed to one policy run.
+
+    The predictor carries per-connection runtime state (access-sequence
+    windows, online hit counters) and — with online updates on —
+    mutates its navigation model, so a ``MiningResult`` must never be
+    shared between runs.  Build one per run from a shared
+    :class:`MinedModels` via :meth:`MinedModels.runtime`.
+    """
 
     components: PRORDComponents
     graph: DependencyGraph
@@ -58,13 +69,72 @@ class MiningResult:
     num_sequences: int
 
 
-def mine_components(
+@dataclass(frozen=True, slots=True)
+class MinedModels:
+    """Immutable artifacts of one offline mining pass.
+
+    Everything here is a pure function of the training log and the
+    mining parameters (``depgraph_order``, ``predictor_kind``), carries
+    no per-run state, and pickles cleanly — the experiment runner mines
+    once per (workload, params) and ships the result to worker
+    processes, where :meth:`runtime` stamps out cheap per-run state.
+
+    ``model`` is the navigation model the predictor consults (the
+    dependency graph itself, or a PPM comparator); ``graph`` is always
+    the paper's n-order dependency graph.
+    """
+
+    graph: DependencyGraph
+    model: object
+    bundles: BundleTable
+    categorizer: UserCategorizer | None
+    rank_table: RankTable
+    num_sessions: int
+    num_sequences: int
+    predictor_kind: str = "depgraph"
+
+    def runtime(
+        self,
+        params: SimulationParams | None = None,
+        *,
+        online_update: bool = True,
+    ) -> MiningResult:
+        """Stamp out per-run state over these shared models.
+
+        The navigation model is deep-copied when online updates are on
+        (the predictor folds observed transitions back into it), so the
+        mined template stays pristine and every run starts from the
+        same offline state — runs are independent and order-free, which
+        is what makes parallel execution bit-identical to serial.
+        """
+        params = params or SimulationParams()
+        model = copy.deepcopy(self.model) if online_update else self.model
+        graph = model if self.model is self.graph else self.graph
+        predictor = PrefetchPredictor(
+            model,
+            threshold=params.prefetch_threshold,
+            online_update=online_update,
+            top_k=params.prefetch_top_k,
+        )
+        return MiningResult(
+            components=PRORDComponents(
+                bundles=self.bundles,
+                predictor=predictor,
+                categorizer=self.categorizer,
+            ),
+            graph=graph,
+            rank_table=self.rank_table,
+            num_sessions=self.num_sessions,
+            num_sequences=self.num_sequences,
+        )
+
+
+def mine_models(
     workload: Workload,
     params: SimulationParams | None = None,
     *,
-    online_update: bool = True,
     predictor_kind: str = "depgraph",
-) -> MiningResult:
+) -> MinedModels:
     """Run the paper's offline web-log mining over the training log.
 
     ``predictor_kind`` selects the navigation model behind the prefetch
@@ -77,7 +147,7 @@ def mine_components(
     sequences = page_sequences(sessions, min_length=2)
     graph = DependencyGraph(order=params.depgraph_order).train(sequences)
     if predictor_kind == "depgraph":
-        model = graph
+        model: object = graph
     elif predictor_kind == "ppm":
         from ..mining.ppm import PPMPredictor
         model = PPMPredictor(order=params.depgraph_order).train(sequences)
@@ -86,27 +156,40 @@ def mine_components(
             f"unknown predictor_kind {predictor_kind!r}; "
             "known: depgraph, ppm"
         )
-    predictor = PrefetchPredictor(
-        model,
-        threshold=params.prefetch_threshold,
-        online_update=online_update,
-        top_k=params.prefetch_top_k,
-    )
     bundles: BundleTable = BundleMiner().mine_sessions(sessions)
     try:
         categorizer: UserCategorizer | None = UserCategorizer.mine(sequences)
     except ValueError:
         categorizer = None
     rank_table = RankTable.from_records(workload.training_records)
-    return MiningResult(
-        components=PRORDComponents(
-            bundles=bundles, predictor=predictor, categorizer=categorizer
-        ),
+    return MinedModels(
         graph=graph,
+        model=model,
+        bundles=bundles,
+        categorizer=categorizer,
         rank_table=rank_table,
         num_sessions=len(sessions),
         num_sequences=len(sequences),
+        predictor_kind=predictor_kind,
     )
+
+
+def mine_components(
+    workload: Workload,
+    params: SimulationParams | None = None,
+    *,
+    online_update: bool = True,
+    predictor_kind: str = "depgraph",
+) -> MiningResult:
+    """Mine the training log and return ready-to-run per-run state.
+
+    One-shot convenience over :func:`mine_models` +
+    :meth:`MinedModels.runtime`; callers running many policies over the
+    same workload should mine once with :func:`mine_models` and stamp
+    out per-run state instead of calling this repeatedly.
+    """
+    models = mine_models(workload, params, predictor_kind=predictor_kind)
+    return models.runtime(params, online_update=online_update)
 
 
 #: Policy configurations known to :func:`build_policy` — the paper's four
@@ -122,6 +205,15 @@ POLICY_NAMES = (
     "lard-distribution",
     "lard-prefetch-nav",
 )
+
+#: Configurations that consult mined artifacts (everything else ignores
+#: the ``mining`` argument).
+MINING_POLICY_NAMES = frozenset((
+    "prord",
+    "lard-bundle",
+    "lard-distribution",
+    "lard-prefetch-nav",
+))
 
 
 def build_policy(
@@ -245,10 +337,7 @@ def run_policy(
                 workload, cache_fraction, params.n_backends
             )
         )
-    needs_mining = policy_name in (
-        "prord", "lard-bundle", "lard-prefetch-nav", "lard-distribution",
-    )
-    if mining is None and needs_mining:
+    if mining is None and policy_name in MINING_POLICY_NAMES:
         mining = mine_components(workload, params)
     policy, replicator = build_policy(policy_name, mining, params)
     trace = workload.trace
@@ -275,8 +364,9 @@ def run_policy(
 class PRORDSystem:
     """Convenience wrapper: one workload, one parameter set, many runs.
 
-    Mines the training log once and reuses the artifacts across policy
-    runs (rebuilding the stateful predictor per run to avoid leakage).
+    Mines the training log once (:class:`MinedModels`) and reuses the
+    artifacts across policy runs, stamping out fresh per-run state each
+    time so no predictor state leaks between runs.
     """
 
     def __init__(
@@ -286,22 +376,22 @@ class PRORDSystem:
     ) -> None:
         self.workload = workload
         self.params = params or SimulationParams()
-        self._mining: MiningResult | None = None
+        self._models: MinedModels | None = None
+
+    @property
+    def models(self) -> MinedModels:
+        """The shared offline mining pass (mined lazily, once)."""
+        if self._models is None:
+            self._models = mine_models(self.workload, self.params)
+        return self._models
 
     @property
     def mining(self) -> MiningResult:
-        if self._mining is None:
-            self._mining = mine_components(self.workload, self.params)
-        return self._mining
+        return self.models.runtime(self.params)
 
     def _fresh_mining(self) -> MiningResult:
-        """Per-run mining artifacts.
-
-        The prefetch predictor carries per-connection runtime state and
-        (when online updates are on) mutates its graph, so each run gets
-        freshly mined artifacts; mining is cheap relative to simulation.
-        """
-        return mine_components(self.workload, self.params)
+        """Per-run mining state over the shared mined models."""
+        return self.models.runtime(self.params)
 
     def run(
         self,
@@ -313,8 +403,7 @@ class PRORDSystem:
         window_s: float | None = None,
     ) -> SimulationResult:
         mining = None
-        if policy_name in ("prord", "lard-bundle", "lard-prefetch-nav",
-                           "lard-distribution"):
+        if policy_name in MINING_POLICY_NAMES:
             mining = self._fresh_mining()
         return run_policy(
             self.workload, policy_name, self.params,

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..core.config import SimulationParams
-from ..core.system import mine_components, run_policy
 from ..logs.workloads import Workload, make_workload
 from ..sim.cluster import SimulationResult
 
@@ -27,6 +26,7 @@ __all__ = [
     "ExperimentScale",
     "QUICK",
     "FULL",
+    "BASE_SEEDS",
     "loaded_workload",
     "run_comparison",
     "format_table",
@@ -92,23 +92,32 @@ FULL = ExperimentScale(
 )
 
 
+#: Preset base seeds (matching the workload factories' defaults).
+BASE_SEEDS = {"synthetic": 303, "cs-department": 101, "worldcup": 202}
+
+
 def loaded_workload(
     name: str,
     scale: ExperimentScale,
     *,
-    seed_offset: int = 0,
+    seed_offset: int | None = None,
 ) -> Workload:
-    """Build a preset workload under the scale's sustained load."""
+    """Build a preset workload under the scale's sustained load.
+
+    ``seed_offset`` shifts the preset's base seed; ``None`` (the
+    default) keeps the factory's own seed, while ``0`` explicitly
+    requests the base seed — the two are distinct so callers can pin
+    the base seed on purpose (a truthiness check used to conflate
+    them).
+    """
     kwargs = dict(
         session_rate=scale.rate_for(name),
         duration_s=scale.duration_s,
         think_time_mean=scale.think_time_mean,
         max_session_pages=scale.max_session_pages,
     )
-    if seed_offset:
-        base_seed = {"synthetic": 303, "cs-department": 101,
-                     "worldcup": 202}[name]
-        kwargs["seed"] = base_seed + seed_offset
+    if seed_offset is not None:
+        kwargs["seed"] = BASE_SEEDS[name] + seed_offset
     return make_workload(name, **kwargs)
 
 
@@ -119,28 +128,24 @@ def run_comparison(
     *,
     params: SimulationParams | None = None,
     cache_fraction: float | None = None,
+    jobs: int = 0,
 ) -> dict[str, SimulationResult]:
-    """Run each policy over the same workload; returns name → result."""
-    params = params or SimulationParams(n_backends=scale.n_backends)
-    fraction = (scale.cache_fraction
-                if cache_fraction is None else cache_fraction)
-    results: dict[str, SimulationResult] = {}
-    mining = None
-    needs_mining = [n for n in policy_names if n in (
-        "prord", "lard-bundle", "lard-prefetch-nav", "lard-distribution")]
-    for name in policy_names:
-        per_run_mining = None
-        if name in needs_mining:
-            # Fresh mining per run: the predictor carries runtime state.
-            per_run_mining = mine_components(workload, params)
-        results[name] = run_policy(
-            workload, name, params,
-            mining=per_run_mining,
-            cache_fraction=fraction,
-            warmup_fraction=scale.warmup_fraction,
-            window_s=scale.duration_s,
-        )
-    return results
+    """Run each policy over the same workload; returns name → result.
+
+    The workload is mined at most once (one :class:`MinedModels` pass
+    shared by every mining policy, each getting fresh per-run state);
+    ``jobs >= 2`` fans the policy runs out over a process pool with
+    results identical to the serial default.
+    """
+    from .runner import Cell, run_grid  # deferred: runner imports common
+    cells = [
+        Cell(workload=workload.name, policy=name,
+             cache_fraction=cache_fraction)
+        for name in policy_names
+    ]
+    out = run_grid(cells, scale, jobs=jobs, params=params,
+                   workloads={workload.name: workload})
+    return {cr.cell.policy: cr.result for cr in out}
 
 
 def gain(results: Mapping[str, SimulationResult],

@@ -12,13 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import (
-    QUICK,
-    ExperimentScale,
-    format_table,
-    loaded_workload,
-    run_comparison,
-)
+from .common import QUICK, ExperimentScale, format_table
+from .runner import Cell, run_grid
 
 __all__ = ["Fig6Row", "run_fig6", "main"]
 
@@ -30,6 +25,8 @@ POLICIES = ("lard", "prord")
 class Fig6Row:
     workload: str
     policy: str
+    #: requests served over the whole run (the paper counts dispatches
+    #: over the whole trace, so the denominator matches that window)
     requests: int
     dispatches: int
 
@@ -41,25 +38,24 @@ class Fig6Row:
 def run_fig6(
     scale: ExperimentScale = QUICK,
     workloads: tuple[str, ...] = WORKLOADS,
+    *,
+    jobs: int = 0,
 ) -> list[Fig6Row]:
     """Regenerate the Fig. 6 series."""
-    rows: list[Fig6Row] = []
-    for wname in workloads:
-        workload = loaded_workload(wname, scale)
-        results = run_comparison(workload, POLICIES, scale)
-        for pname in POLICIES:
-            r = results[pname]
-            rows.append(Fig6Row(
-                workload=wname,
-                policy=pname,
-                requests=len(workload.trace),
-                dispatches=r.report.dispatches,
-            ))
-    return rows
+    cells = [Cell(workload=w, policy=p) for w in workloads for p in POLICIES]
+    return [
+        Fig6Row(
+            workload=cr.cell.workload,
+            policy=cr.cell.policy,
+            requests=cr.result.report.all_completed,
+            dispatches=cr.result.report.dispatches,
+        )
+        for cr in run_grid(cells, scale, jobs=jobs)
+    ]
 
 
-def main(scale: ExperimentScale = QUICK) -> str:
-    rows = run_fig6(scale)
+def main(scale: ExperimentScale = QUICK, *, jobs: int = 0) -> str:
+    rows = run_fig6(scale, jobs=jobs)
     table = format_table(
         "Fig. 6 - Frequency of Dispatches",
         ["trace", "policy", "requests", "dispatches", "disp/req"],

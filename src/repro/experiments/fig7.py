@@ -12,17 +12,10 @@ Shape targets:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from ..core.config import SimulationParams
-from .common import (
-    QUICK,
-    ExperimentScale,
-    format_table,
-    gain,
-    loaded_workload,
-    run_comparison,
-)
+from .common import QUICK, ExperimentScale, format_table
+from .runner import Cell, run_grid
 
 __all__ = ["Fig7Row", "run_fig7", "run_fig7_backend_sweep", "main"]
 
@@ -42,44 +35,45 @@ class Fig7Row:
 def run_fig7(
     scale: ExperimentScale = QUICK,
     workloads: tuple[str, ...] = WORKLOADS,
+    *,
+    jobs: int = 0,
 ) -> list[Fig7Row]:
     """Regenerate the Fig. 7 series (per-trace policy throughput)."""
-    rows: list[Fig7Row] = []
-    for wname in workloads:
-        workload = loaded_workload(wname, scale)
-        results = run_comparison(workload, POLICIES, scale)
-        for pname in POLICIES:
-            r = results[pname]
-            rows.append(Fig7Row(
-                workload=wname,
-                policy=pname,
-                throughput_rps=r.throughput_rps,
-                mean_response_ms=r.mean_response_s * 1e3,
-                hit_rate=r.hit_rate,
-            ))
-    return rows
+    cells = [Cell(workload=w, policy=p) for w in workloads for p in POLICIES]
+    return [
+        Fig7Row(
+            workload=cr.cell.workload,
+            policy=cr.cell.policy,
+            throughput_rps=cr.result.throughput_rps,
+            mean_response_ms=cr.result.mean_response_s * 1e3,
+            hit_rate=cr.result.hit_rate,
+        )
+        for cr in run_grid(cells, scale, jobs=jobs)
+    ]
 
 
 def run_fig7_backend_sweep(
     scale: ExperimentScale = QUICK,
     backend_counts: tuple[int, ...] = (6, 8, 12, 16),
     workload_name: str = "synthetic",
+    *,
+    jobs: int = 0,
 ) -> dict[int, dict[str, float]]:
     """The paper's 6–16 backend consistency check (one workload)."""
+    cells = [
+        Cell(workload=workload_name, policy=p, n_backends=n)
+        for n in backend_counts for p in POLICIES
+    ]
     out: dict[int, dict[str, float]] = {}
-    workload = loaded_workload(workload_name, scale)
-    for n in backend_counts:
-        params = SimulationParams(n_backends=n)
-        sweep_scale = replace(scale, n_backends=n)
-        results = run_comparison(workload, POLICIES, sweep_scale,
-                                 params=params)
-        out[n] = {p: results[p].throughput_rps for p in POLICIES}
+    for cr in run_grid(cells, scale, jobs=jobs):
+        out.setdefault(cr.result.n_backends, {})[cr.cell.policy] = (
+            cr.result.throughput_rps)
     return out
 
 
-def main(scale: ExperimentScale = QUICK) -> str:
+def main(scale: ExperimentScale = QUICK, *, jobs: int = 0) -> str:
     from .charts import grouped_bar_chart
-    rows = run_fig7(scale)
+    rows = run_fig7(scale, jobs=jobs)
     table = format_table(
         "Fig. 7 - Throughput Comparison "
         f"({scale.n_backends} backends, {scale.cache_fraction:.0%} of site "

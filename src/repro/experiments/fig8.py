@@ -16,13 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import (
-    QUICK,
-    ExperimentScale,
-    format_table,
-    loaded_workload,
-    run_comparison,
-)
+from .common import QUICK, ExperimentScale, format_table
+from .runner import Cell, run_grid
 
 __all__ = ["Fig8Row", "run_fig8", "main"]
 
@@ -43,27 +38,32 @@ def run_fig8(
     *,
     workload_name: str = "cs-department",
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    jobs: int = 0,
 ) -> list[Fig8Row]:
-    """Regenerate the Fig. 8 series (memory sweep)."""
-    workload = loaded_workload(workload_name, scale)
-    rows: list[Fig8Row] = []
-    for fraction in fractions:
-        results = run_comparison(workload, POLICIES, scale,
-                                 cache_fraction=fraction)
-        for pname in POLICIES:
-            r = results[pname]
-            rows.append(Fig8Row(
-                memory_fraction=fraction,
-                policy=pname,
-                throughput_rps=r.throughput_rps,
-                hit_rate=r.hit_rate,
-            ))
-    return rows
+    """Regenerate the Fig. 8 series (memory sweep).
+
+    One workload and one mining pass feed the whole
+    (fraction × policy) grid — the cache fraction only resizes the
+    simulated caches, not the mined models.
+    """
+    cells = [
+        Cell(workload=workload_name, policy=p, cache_fraction=f)
+        for f in fractions for p in POLICIES
+    ]
+    return [
+        Fig8Row(
+            memory_fraction=cr.cache_fraction,
+            policy=cr.cell.policy,
+            throughput_rps=cr.result.throughput_rps,
+            hit_rate=cr.result.hit_rate,
+        )
+        for cr in run_grid(cells, scale, jobs=jobs)
+    ]
 
 
-def main(scale: ExperimentScale = QUICK) -> str:
+def main(scale: ExperimentScale = QUICK, *, jobs: int = 0) -> str:
     from .charts import sparkline
-    rows = run_fig8(scale)
+    rows = run_fig8(scale, jobs=jobs)
     table = format_table(
         "Fig. 8 - Throughput varying data amount in memory (cs-department)",
         ["memory", "policy", "thr (rps)", "hit"],

@@ -114,13 +114,20 @@ class LRUCache:
                 existing.pinned = pinned
             self._entries.move_to_end(path)
             return []
+        # Up-front fit check: admit only if evicting unpinned files can
+        # make room.  Deciding before touching any victim means a
+        # doomed insert evicts nothing — the old give-up-mid-eviction
+        # path churned the cache (and fired on_evict locality-table
+        # callbacks) without the new file ever entering memory.
         if size > self.capacity_bytes - self._pinned_bytes:
-            return []  # cannot fit without evicting pinned data
+            return []
         evicted: list[str] = []
         while self._resident + size > self.capacity_bytes:
             victim = self._next_victim()
-            if victim is None:
-                return evicted  # only pinned files left; give up
+            if victim is None:  # pragma: no cover - guarded above
+                raise RuntimeError(
+                    "eviction underflow despite up-front fit check"
+                )
             self._remove(victim)
             evicted.append(victim)
             self.evictions += 1

@@ -40,7 +40,14 @@ class CompletionRecord:
 class SimulationReport:
     """Aggregated metrics over (post-warm-up) completions."""
 
+    #: completions whose request arrived after warm-up — the population
+    #: behind the response-time/hit-rate/throughput statistics.
     completed: int
+    #: completions over the whole run, warm-up included.  Event
+    #: counters (dispatches, handoffs, ...) are whole-run totals, so
+    #: per-request ratios must normalise by this count, not
+    #: ``completed`` — mixing the windows inflated dispatches/request.
+    all_completed: int
     #: completions inside the offered-load window / window length — the
     #: paper's "summation of the number of requests processed by each of
     #: the backend servers" over the measured interval.
@@ -64,8 +71,15 @@ class SimulationReport:
 
     @property
     def dispatch_frequency(self) -> float:
-        """Dispatches per completed request (Fig. 6, normalised)."""
-        return self.dispatches / self.completed if self.completed else 0.0
+        """Dispatches per served request (Fig. 6, normalised).
+
+        Both counts cover the whole run: ``dispatches`` is a run total,
+        so it is divided by run-total completions — dividing by the
+        post-warm-up ``completed`` would overstate dispatches/request.
+        """
+        if not self.all_completed:
+            return 0.0
+        return self.dispatches / self.all_completed
 
     @property
     def prefetch_precision(self) -> float:
@@ -185,7 +199,8 @@ class MetricsCollector:
             per_server[r.server_id] += 1
         if not recs:
             return SimulationReport(
-                completed=0, throughput_rps=0.0, drain_throughput_rps=0.0,
+                completed=0, all_completed=len(self._records),
+                throughput_rps=0.0, drain_throughput_rps=0.0,
                 mean_response_s=0.0,
                 median_response_s=0.0, p95_response_s=0.0, hit_rate=0.0,
                 dispatches=self.dispatches, handoffs=self.handoffs,
@@ -209,6 +224,7 @@ class MetricsCollector:
         hits = sum(1 for r in recs if r.hit)
         return SimulationReport(
             completed=len(recs),
+            all_completed=len(self._records),
             throughput_rps=throughput,
             drain_throughput_rps=drain_throughput,
             mean_response_s=float(responses.mean()),

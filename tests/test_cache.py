@@ -141,6 +141,45 @@ class TestPinning:
         c.insert("/a", 40, pinned=True)
         assert c.pinned_bytes == 40
 
+    def test_doomed_insert_evicts_nothing(self):
+        # The fit check happens before any victim is chosen: a file that
+        # cannot fit in the unpinned capacity must leave the cache (and
+        # the dispatcher locality table listening on on_evict) untouched.
+        evicted_events = []
+        c = LRUCache(100, on_evict=evicted_events.append)
+        c.insert("/hot", 70, pinned=True)
+        c.insert("/a", 15)
+        c.insert("/b", 15)
+        assert c.insert("/too-big", 40) == []
+        assert evicted_events == []
+        assert c.contents() == ["/hot", "/a", "/b"]
+        assert c.resident_bytes == 100
+
+    def test_pinned_bytes_round_trip(self):
+        # insert(pinned) / pin / unpin / unpin_all must keep
+        # pinned_bytes consistent with resident_bytes through a full
+        # replication-round cycle.
+        c = LRUCache(200)
+        c.insert("/h1", 50, pinned=True)
+        c.insert("/h2", 30, pinned=True)
+        c.insert("/cold", 40)
+        assert c.pinned_bytes == 80
+        assert c.resident_bytes == 120
+        assert c.unpin_all() == 2
+        assert c.pinned_bytes == 0
+        assert c.resident_bytes == 120
+        # Re-pin one survivor, evict it, and check the books balance.
+        assert c.pin("/h1")
+        assert c.pinned_bytes == 50
+        assert c.evict("/h1")
+        assert c.pinned_bytes == 0
+        assert c.resident_bytes == 70
+        # pin/unpin are idempotent.
+        c.pin("/h2"), c.pin("/h2")
+        assert c.pinned_bytes == 30
+        c.unpin("/h2"), c.unpin("/h2")
+        assert c.pinned_bytes == 0
+
     def test_contents_lru_first(self):
         c = LRUCache(100)
         c.insert("/a", 30)

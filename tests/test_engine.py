@@ -136,6 +136,33 @@ class TestResource:
         sim.run()
         assert done == ["running", "promoted", "demand"]
 
+    def test_promote_heap_rebuild_deterministic(self):
+        # The lazy heap rebuild inside promote() must preserve FIFO
+        # order within each priority class (ties broken by submission
+        # seq), and repeating the same scenario must give the same
+        # completion order every time.
+        def run_scenario():
+            sim = Simulator()
+            res = Resource(sim)
+            done = []
+            res.submit(1.0, lambda: done.append("running"))
+            handles = [
+                res.submit(1.0, lambda i=i: done.append(f"pf{i}"),
+                           priority=PRIORITY_PREFETCH)
+                for i in range(4)
+            ]
+            res.submit(1.0, lambda: done.append("demand"))
+            # Promote the 3rd then the 1st prefetch: both join the
+            # demand class but keep their original submission order.
+            assert res.promote(handles[2])
+            assert res.promote(handles[0])
+            sim.run()
+            return done
+
+        first = run_scenario()
+        assert first == ["running", "pf0", "pf2", "demand", "pf1", "pf3"]
+        assert all(run_scenario() == first for _ in range(5))
+
     def test_promote_started_job_is_noop(self):
         sim = Simulator()
         res = Resource(sim)

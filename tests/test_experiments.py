@@ -132,3 +132,12 @@ class TestHarness:
         a = loaded_workload("synthetic", TINY)
         b = loaded_workload("synthetic", TINY, seed_offset=5)
         assert [r.path for r in a.trace[:50]] != [r.path for r in b.trace[:50]]
+
+    def test_loaded_workload_seed_offset_zero_pins_base_seed(self):
+        # seed_offset=0 is an explicit request for the base seed, not a
+        # falsy no-op: it must reproduce the default (whose factory seed
+        # IS the base seed) and stay distinguishable from None upstream.
+        default = loaded_workload("synthetic", TINY)
+        pinned = loaded_workload("synthetic", TINY, seed_offset=0)
+        assert ([r.path for r in default.trace[:100]]
+                == [r.path for r in pinned.trace[:100]])

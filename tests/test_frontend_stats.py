@@ -120,6 +120,20 @@ class TestMetricsCollector:
         m.record_completion(req(t=0.5, conn=1), 1.5, 0, True)
         assert m.report().dispatch_frequency == pytest.approx(2.0)
 
+    def test_dispatch_frequency_ignores_warmup_window(self):
+        # Dispatches are a whole-run counter, so the ratio must divide
+        # by whole-run completions (all_completed), not the post-warm-up
+        # population — mixing windows overstated dispatches/request.
+        m = MetricsCollector(1)
+        for _ in range(4):
+            m.count_dispatch()
+        for i, t in enumerate((0.0, 2.0, 6.0, 8.0)):
+            m.record_completion(req(t=t, conn=i), t + 1.0, 0, True)
+        r = m.report(warmup_until=5.0)
+        assert r.completed == 2
+        assert r.all_completed == 4
+        assert r.dispatch_frequency == pytest.approx(1.0)
+
     def test_load_imbalance(self):
         m = MetricsCollector(2)
         m.record_completion(req(t=0.0), 1.0, 0, True)

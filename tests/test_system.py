@@ -144,9 +144,16 @@ class TestPRORDSystem:
         assert set(results) == {"wrr", "prord"}
         assert all(r.report.completed > 0 for r in results.values())
 
-    def test_mining_cached(self, workload):
+    def test_models_cached_runtime_fresh(self, workload):
         system = PRORDSystem(workload)
-        assert system.mining is system.mining
+        # One offline mining pass, shared; per-run state is never shared.
+        assert system.models is system.models
+        a, b = system.mining, system.mining
+        assert a is not b
+        assert a.components.predictor is not b.components.predictor
+        # Both runs consult the same immutable mined tables.
+        assert a.components.bundles is b.components.bundles
+        assert a.rank_table is b.rank_table
 
     def test_prord_beats_wrr_on_locality(self, workload):
         system = PRORDSystem(workload, SimulationParams(n_backends=4))
