@@ -134,12 +134,17 @@ def _print_result(result) -> None:
         print(f"  prefetches {r.prefetches_issued} "
               f"({r.prefetch_precision:.0%} useful), "
               f"replicated {r.replicated_bytes / 1024:.0f} KB")
+    if result.audit is not None:
+        a = result.audit
+        print(f"  audit: {a.checks_run} invariant sweeps over "
+              f"{a.events_seen} events, {a.violations} violations")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     workload = _workload_from_log(Path(args.logfile), args.train_fraction)
     params = _params_from_args(args)
-    result = run_policy(workload, args.policy, params, cache_fraction=None)
+    result = run_policy(workload, args.policy, params, cache_fraction=None,
+                        audit=args.audit)
     _print_result(result)
     return 0
 
@@ -148,9 +153,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = _workload_from_log(Path(args.logfile), args.train_fraction)
     params = _params_from_args(args)
     for policy in args.policies:
-        result = run_policy(workload, policy, params, cache_fraction=None)
+        result = run_policy(workload, policy, params, cache_fraction=None,
+                            audit=args.audit)
         _print_result(result)
     return 0
+
+
+def cmd_differential(args: argparse.Namespace) -> int:
+    from .experiments import FULL, QUICK
+    from .sim.differential import run_differential_suite
+    report = run_differential_suite(
+        FULL if args.full else QUICK,
+        workload_name=args.workload,
+        policies=tuple(args.policies),
+        jobs=args.jobs,
+    )
+    print(report.format())
+    return 0 if report.passed else 1
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -232,7 +251,7 @@ def cmd_capacity(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from .experiments import FULL, QUICK
     from .experiments.report import run_all
-    run_all(FULL if args.full else QUICK, jobs=args.jobs)
+    run_all(FULL if args.full else QUICK, jobs=args.jobs, audit=args.audit)
     return 0
 
 
@@ -241,7 +260,8 @@ def cmd_fig(args: argparse.Namespace) -> int:
     from .experiments import FULL, QUICK, fig6, fig7, fig8, fig9
     module = {"fig6": fig6, "fig7": fig7,
               "fig8": fig8, "fig9": fig9}[args.figure]
-    module.main(FULL if args.full else QUICK, jobs=args.jobs)
+    module.main(FULL if args.full else QUICK, jobs=args.jobs,
+                audit=args.audit)
     return 0
 
 
@@ -280,12 +300,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rows in the top-N listings")
     p.set_defaults(func=cmd_mine)
 
+    def add_audit_option(p):
+        p.add_argument("--audit", action="store_true",
+                       help="attach the strict simulation auditor "
+                            "(runtime invariant checks; results are "
+                            "bit-identical to unaudited runs)")
+
     def add_sim_options(p):
         p.add_argument("--backends", type=int, default=8)
         p.add_argument("--cache-mb", type=float, default=None,
                        help="per-server cache in MB (default: Table 1)")
         p.add_argument("--train-fraction", type=float, default=0.5,
                        help="leading fraction of the log used for mining")
+        add_audit_option(p)
 
     p = sub.add_parser("simulate", help="replay a CLF log through the cluster")
     p.add_argument("logfile")
@@ -345,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true",
                    help="paper scale instead of quick scale")
     add_jobs_option(p)
+    add_audit_option(p)
     p.set_defaults(func=cmd_report)
 
     for figure in ("fig6", "fig7", "fig8", "fig9"):
@@ -353,7 +381,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--full", action="store_true",
                        help="paper scale instead of quick scale")
         add_jobs_option(p)
+        add_audit_option(p)
         p.set_defaults(func=cmd_fig, figure=figure)
+
+    p = sub.add_parser(
+        "differential",
+        help="cross-run equivalence checks (degraded PRORD == LARD, "
+             "determinism, audit transparency, serial == --jobs)")
+    p.add_argument("--workload", choices=sorted(WORKLOAD_PRESETS),
+                   default="synthetic")
+    p.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
+                   default=["wrr", "lard", "lard-r", "ext-lard-phttp",
+                            "prord"])
+    p.add_argument("--full", action="store_true",
+                   help="paper scale instead of quick scale")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="pool size for the serial-vs-parallel grid check "
+                        "(< 2 skips that check)")
+    p.set_defaults(func=cmd_differential)
 
     p = sub.add_parser("table1", help="print the Table-1 parameter set")
     p.set_defaults(func=cmd_table1)

@@ -32,6 +32,7 @@ from ..policies.lard import LARDPolicy, LARDReplicationPolicy
 from ..policies.prord import PRORDComponents, PRORDFeatures, PRORDPolicy
 from ..policies.replication import ReplicationEngine
 from ..policies.wrr import WRRPolicy
+from ..sim.audit import SimulationAuditor
 from ..sim.cluster import ClusterSimulator, SimulationResult
 from .config import SimulationParams
 
@@ -323,12 +324,18 @@ def run_policy(
     target_rps: float | None = None,
     warmup_fraction: float = 0.1,
     window_s: float | None = None,
+    audit: bool = False,
 ) -> SimulationResult:
     """Mine (if needed), build, and run one policy over a workload.
 
     ``window_s`` bounds the throughput measurement window — pass the
     sustained-load duration when the workload was generated with
     ``duration_s`` so the drain tail does not inflate throughput.
+
+    ``audit=True`` attaches a :class:`~repro.sim.audit.SimulationAuditor`
+    (strict mode): structural invariants are checked throughout the run,
+    the result carries an :class:`~repro.sim.audit.AuditSummary`, and
+    the report is bit-identical to the unaudited run.
     """
     params = params or SimulationParams()
     if cache_fraction is not None:
@@ -357,6 +364,7 @@ def run_policy(
         replicator=replicator, warmup_fraction=warmup_fraction,
         window_s=window_s,
         future_weights=future_weights,
+        auditor=SimulationAuditor() if audit else None,
     )
     return cluster.run()
 
@@ -401,6 +409,7 @@ class PRORDSystem:
         target_rps: float | None = None,
         warmup_fraction: float = 0.1,
         window_s: float | None = None,
+        audit: bool = False,
     ) -> SimulationResult:
         mining = None
         if policy_name in MINING_POLICY_NAMES:
@@ -412,6 +421,7 @@ class PRORDSystem:
             target_rps=target_rps,
             warmup_fraction=warmup_fraction,
             window_s=window_s,
+            audit=audit,
         )
 
     def compare(

@@ -129,6 +129,7 @@ def run_comparison(
     params: SimulationParams | None = None,
     cache_fraction: float | None = None,
     jobs: int = 0,
+    audit: bool = False,
 ) -> dict[str, SimulationResult]:
     """Run each policy over the same workload; returns name → result.
 
@@ -144,7 +145,7 @@ def run_comparison(
         for name in policy_names
     ]
     out = run_grid(cells, scale, jobs=jobs, params=params,
-                   workloads={workload.name: workload})
+                   workloads={workload.name: workload}, audit=audit)
     return {cr.cell.policy: cr.result for cr in out}
 
 

@@ -40,6 +40,7 @@ def run_fig6(
     workloads: tuple[str, ...] = WORKLOADS,
     *,
     jobs: int = 0,
+    audit: bool = False,
 ) -> list[Fig6Row]:
     """Regenerate the Fig. 6 series."""
     cells = [Cell(workload=w, policy=p) for w in workloads for p in POLICIES]
@@ -50,12 +51,13 @@ def run_fig6(
             requests=cr.result.report.all_completed,
             dispatches=cr.result.report.dispatches,
         )
-        for cr in run_grid(cells, scale, jobs=jobs)
+        for cr in run_grid(cells, scale, jobs=jobs, audit=audit)
     ]
 
 
-def main(scale: ExperimentScale = QUICK, *, jobs: int = 0) -> str:
-    rows = run_fig6(scale, jobs=jobs)
+def main(scale: ExperimentScale = QUICK, *, jobs: int = 0,
+         audit: bool = False) -> str:
+    rows = run_fig6(scale, jobs=jobs, audit=audit)
     table = format_table(
         "Fig. 6 - Frequency of Dispatches",
         ["trace", "policy", "requests", "dispatches", "disp/req"],

@@ -37,6 +37,7 @@ def run_fig7(
     workloads: tuple[str, ...] = WORKLOADS,
     *,
     jobs: int = 0,
+    audit: bool = False,
 ) -> list[Fig7Row]:
     """Regenerate the Fig. 7 series (per-trace policy throughput)."""
     cells = [Cell(workload=w, policy=p) for w in workloads for p in POLICIES]
@@ -48,7 +49,7 @@ def run_fig7(
             mean_response_ms=cr.result.mean_response_s * 1e3,
             hit_rate=cr.result.hit_rate,
         )
-        for cr in run_grid(cells, scale, jobs=jobs)
+        for cr in run_grid(cells, scale, jobs=jobs, audit=audit)
     ]
 
 
@@ -58,6 +59,7 @@ def run_fig7_backend_sweep(
     workload_name: str = "synthetic",
     *,
     jobs: int = 0,
+    audit: bool = False,
 ) -> dict[int, dict[str, float]]:
     """The paper's 6–16 backend consistency check (one workload)."""
     cells = [
@@ -65,15 +67,16 @@ def run_fig7_backend_sweep(
         for n in backend_counts for p in POLICIES
     ]
     out: dict[int, dict[str, float]] = {}
-    for cr in run_grid(cells, scale, jobs=jobs):
+    for cr in run_grid(cells, scale, jobs=jobs, audit=audit):
         out.setdefault(cr.result.n_backends, {})[cr.cell.policy] = (
             cr.result.throughput_rps)
     return out
 
 
-def main(scale: ExperimentScale = QUICK, *, jobs: int = 0) -> str:
+def main(scale: ExperimentScale = QUICK, *, jobs: int = 0,
+         audit: bool = False) -> str:
     from .charts import grouped_bar_chart
-    rows = run_fig7(scale, jobs=jobs)
+    rows = run_fig7(scale, jobs=jobs, audit=audit)
     table = format_table(
         "Fig. 7 - Throughput Comparison "
         f"({scale.n_backends} backends, {scale.cache_fraction:.0%} of site "

@@ -39,6 +39,7 @@ def run_fig8(
     workload_name: str = "cs-department",
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     jobs: int = 0,
+    audit: bool = False,
 ) -> list[Fig8Row]:
     """Regenerate the Fig. 8 series (memory sweep).
 
@@ -57,13 +58,14 @@ def run_fig8(
             throughput_rps=cr.result.throughput_rps,
             hit_rate=cr.result.hit_rate,
         )
-        for cr in run_grid(cells, scale, jobs=jobs)
+        for cr in run_grid(cells, scale, jobs=jobs, audit=audit)
     ]
 
 
-def main(scale: ExperimentScale = QUICK, *, jobs: int = 0) -> str:
+def main(scale: ExperimentScale = QUICK, *, jobs: int = 0,
+         audit: bool = False) -> str:
     from .charts import sparkline
-    rows = run_fig8(scale, jobs=jobs)
+    rows = run_fig8(scale, jobs=jobs, audit=audit)
     table = format_table(
         "Fig. 8 - Throughput varying data amount in memory (cs-department)",
         ["memory", "policy", "thr (rps)", "hit"],

@@ -46,6 +46,7 @@ def run_fig9(
     *,
     workload_name: str = "cs-department",
     jobs: int = 0,
+    audit: bool = False,
 ) -> list[Fig9Row]:
     """Regenerate the Fig. 9 ablation series.
 
@@ -62,12 +63,13 @@ def run_fig9(
             hit_rate=cr.result.hit_rate,
             prefetches=cr.result.report.prefetches_issued,
         )
-        for cr in run_grid(cells, scale, jobs=jobs)
+        for cr in run_grid(cells, scale, jobs=jobs, audit=audit)
     ]
 
 
-def main(scale: ExperimentScale = QUICK, *, jobs: int = 0) -> str:
-    rows = run_fig9(scale, jobs=jobs)
+def main(scale: ExperimentScale = QUICK, *, jobs: int = 0,
+         audit: bool = False) -> str:
+    rows = run_fig9(scale, jobs=jobs, audit=audit)
     table = format_table(
         "Fig. 9 - Throughput of Individual Enhancements (cs-department)",
         ["policy", "thr (rps)", "resp (ms)", "hit", "prefetches"],

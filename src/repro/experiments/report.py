@@ -23,6 +23,7 @@ def run_all(
     *,
     csv_dir: Path | str | None = None,
     jobs: int = 0,
+    audit: bool = False,
 ) -> str:
     """Run Table 1 + Figs. 6–9; returns the combined report text.
 
@@ -30,6 +31,8 @@ def run_all(
     (``fig6.csv`` … ``fig9.csv``) for external plotting.  ``jobs``
     fans each figure's grid out over that many worker processes
     (``0`` = serial) without changing any number in the report.
+    ``audit`` attaches the strict simulation auditor to every run —
+    also without changing any number (the hook is pure observation).
     """
     sections: list[str] = []
     t0 = time.time()
@@ -41,13 +44,13 @@ def run_all(
     for module in (fig6, fig7, fig8, fig9):
         start = time.time()
         if csv_dir is not None:
-            rows = runners[module](scale, jobs=jobs)
+            rows = runners[module](scale, jobs=jobs, audit=audit)
             name = module.__name__.rsplit(".", 1)[-1]
             path = write_rows(rows, Path(csv_dir) / f"{name}.csv")
             sections.append(f"[wrote {path}]")
             print(f"[wrote {path}]")
         else:
-            sections.append(module.main(scale, jobs=jobs))
+            sections.append(module.main(scale, jobs=jobs, audit=audit))
         timing = f"[{module.__name__} took {time.time() - start:.1f} s]"
         print(timing)
         sections.append(timing)
@@ -69,7 +72,7 @@ def main(argv: list[str] | None = None) -> None:
     jobs = 0
     if "--jobs" in argv:
         jobs = int(argv[argv.index("--jobs") + 1])
-    run_all(scale, csv_dir=csv_dir, jobs=jobs)
+    run_all(scale, csv_dir=csv_dir, jobs=jobs, audit="--audit" in argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -93,6 +93,8 @@ class _GridContext:
     base_params: SimulationParams | None
     entries: dict[tuple[str, int | None],
                   tuple[Workload, MinedModels | None]]
+    #: attach a strict SimulationAuditor to every cell's run
+    audit: bool = False
 
 
 #: Per-process context installed by the pool initializer (workers only).
@@ -121,6 +123,7 @@ def _execute_cell(ctx: _GridContext, cell: Cell) -> CellResult:
         cache_fraction=fraction,
         warmup_fraction=scale.warmup_fraction,
         window_s=scale.duration_s,
+        audit=ctx.audit,
     )
     return CellResult(
         cell=cell,
@@ -140,6 +143,7 @@ def _build_context(
     scale: ExperimentScale,
     params: SimulationParams | None,
     workloads: Mapping[str, Workload] | None,
+    audit: bool = False,
 ) -> _GridContext:
     """Generate workloads and mine models — once per distinct key."""
     mining_params = params or SimulationParams(n_backends=scale.n_backends)
@@ -166,7 +170,8 @@ def _build_context(
         models = (mine_models(workload, mining_params)
                   if key in needs_mining else None)
         entries[key] = (workload, models)
-    return _GridContext(scale=scale, base_params=params, entries=entries)
+    return _GridContext(scale=scale, base_params=params, entries=entries,
+                        audit=audit)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -183,6 +188,7 @@ def run_grid(
     jobs: int = 0,
     params: SimulationParams | None = None,
     workloads: Mapping[str, Workload] | None = None,
+    audit: bool = False,
 ) -> list[CellResult]:
     """Execute a grid of cells; results come back in cell order.
 
@@ -205,11 +211,17 @@ def run_grid(
         Pre-built workloads keyed by cell ``workload`` name, bypassing
         :func:`loaded_workload` (used by :func:`run_comparison`, which
         receives an already-generated workload).
+    audit:
+        Attach a strict :class:`~repro.sim.audit.SimulationAuditor` to
+        every cell's run.  The audit hook is pure observation, so the
+        results (reports included) are bit-identical to ``audit=False``;
+        any invariant violation raises
+        :class:`~repro.sim.audit.AuditError`.
     """
     cells = list(cells)
     if not cells:
         return []
-    ctx = _build_context(cells, scale, params, workloads)
+    ctx = _build_context(cells, scale, params, workloads, audit=audit)
     jobs = resolve_jobs(jobs)
     if jobs >= 2 and len(cells) >= 2:
         n_workers = min(jobs, len(cells))

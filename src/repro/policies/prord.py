@@ -45,11 +45,37 @@ class PRORDFeatures:
     prefetch_routing: bool = True
     bundle_prefetch: bool = True
     nav_prefetch: bool = True
+    #: Step 4 consults the dispatcher's locality table before falling
+    #: back to the least-loaded backend (original LARD does not — it
+    #: knows only its own assignment table).
+    locality_dispatch: bool = True
+    #: Dynamic requests keep their connection's backend affinity
+    #: instead of being dispatched like static targets.
+    dynamic_affinity: bool = True
 
     @classmethod
     def none(cls) -> "PRORDFeatures":
-        """Plain locality-aware routing — the LARD core alone."""
+        """Every mined enhancement off — the LARD core alone.
+
+        The two routing refinements (``locality_dispatch``,
+        ``dynamic_affinity``) stay on: they belong to the distributor
+        core, not to the Fig. 9 ablation knobs.
+        """
         return cls(False, False, False, False)
+
+    @classmethod
+    def lard_equivalent(cls) -> "PRORDFeatures":
+        """Everything off, core refinements included.
+
+        With this config, empty components, and non-persistent
+        connections, PRORD routes *identically* to classic
+        :class:`~repro.policies.lard.LARDPolicy` — pure
+        assignment-table dispatch.  The differential harness
+        (:mod:`repro.sim.differential`) checks that equivalence
+        field-for-field.
+        """
+        return cls(False, False, False, False,
+                   locality_dispatch=False, dynamic_affinity=False)
 
     @classmethod
     def all(cls) -> "PRORDFeatures":
@@ -113,11 +139,13 @@ class PRORDPolicy(Policy):
         self._prefetch_loc: dict[str, int] = {}
         #: path -> backend it was last distributed to
         self._assignment: dict[str, int] = {}
-        # Step counters for the Fig. 4 flow (reported by benches).
+        # Step counters for the Fig. 4 flow (reported by benches; the
+        # auditor checks they sum to the number of routed requests).
         self.routed_embedded = 0
         self.routed_prefetched = 0
         self.routed_assigned = 0
         self.routed_dispatched = 0
+        self.routed_dynamic = 0
 
     # -- routing helpers ------------------------------------------------------
 
@@ -150,11 +178,12 @@ class PRORDPolicy(Policy):
         assigned = self._assignment.get(path)
         if assigned is not None and not self._overloaded(assigned):
             return assigned
-        holders = self.cluster.dispatcher.lookup(path)
-        if holders:
-            target = self.least_loaded(sorted(holders))
-            if not self._overloaded(target):
-                return target
+        if self.features.locality_dispatch:
+            holders = self.cluster.dispatcher.lookup(path)
+            if holders:
+                target = self.least_loaded(sorted(holders))
+                if not self._overloaded(target):
+                    return target
         return self.least_loaded()
 
     def _proactive(
@@ -202,12 +231,13 @@ class PRORDPolicy(Policy):
         # keep the connection where it is when possible, otherwise
         # balance load — no dispatcher contact, no proactive work
         # (dynamic-content extension; the paper's future-work item).
-        if request.dynamic:
+        if request.dynamic and self.features.dynamic_affinity:
             target = conn_server if conn_server is not None else (
                 self.least_loaded())
             if self._overloaded(target):
                 target = self.least_loaded()
             self._conn_server[request.conn_id] = target
+            self.routed_dynamic += 1
             return RoutingDecision(server_id=target, dispatched=False)
 
         # Step 2: embedded objects follow the parent page's backend.
@@ -248,6 +278,10 @@ class PRORDPolicy(Policy):
             self._assignment[request.path] = target
             prefetches = self._proactive(request, target)
         else:
+            # With forwarding off, embedded objects are ordinary LARD
+            # targets: bind them so later requests reuse the backend.
+            if not self.features.embedded_forwarding:
+                self._assignment[request.path] = target
             prefetches = ()
         return RoutingDecision(
             server_id=target, dispatched=dispatched, prefetches=prefetches
@@ -267,4 +301,5 @@ class PRORDPolicy(Policy):
             "prefetch_routed": self.routed_prefetched,
             "assignment_routed": self.routed_assigned,
             "dispatched": self.routed_dispatched,
+            "dynamic_affinity": self.routed_dynamic,
         }

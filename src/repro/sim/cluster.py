@@ -25,6 +25,7 @@ from typing import Mapping, Protocol, runtime_checkable
 from ..core.config import SimulationParams
 from ..logs.records import Request, Trace
 from ..policies.base import Policy, RoutingDecision
+from .audit import AuditSummary, SimulationAuditor
 from .engine import Resource, Simulator
 from .frontend import ConnectionState, Dispatcher
 from .power import PowerManager, PowerReport
@@ -58,6 +59,10 @@ class SimulationResult:
     server_utilizations: tuple[dict[str, float], ...]
     warmup_until: float
     dispatcher_lookups: int
+    #: Present when the run was audited (``--audit``); ``clean`` means
+    #: zero invariant violations.  The report itself is bit-identical
+    #: with and without auditing — the hook is pure observation.
+    audit: AuditSummary | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -111,6 +116,7 @@ class ClusterSimulator:
         catalog: Mapping[str, int] | None = None,
         failures: "FailureSchedule | None" = None,
         future_weights: Mapping[str, float] | None = None,
+        auditor: "SimulationAuditor | None" = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
@@ -178,6 +184,9 @@ class ClusterSimulator:
             self._t0 = 0.0
         self._ran = False
         self.tracer = tracer
+        self.auditor = auditor
+        if auditor is not None:
+            auditor.attach(self)
         self.failures = failures
         if failures is not None:
             failures.install(self)
@@ -267,6 +276,8 @@ class ClusterSimulator:
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, "arrival", req.conn_id, req.path,
                              embedded=req.is_embedded, dynamic=req.dynamic)
+        if self.auditor is not None:
+            self.auditor.note_arrival(req)
         decision = self.policy.route(req)
         if not 0 <= decision.server_id < len(self.servers):
             raise ValueError(
@@ -343,6 +354,8 @@ class ClusterSimulator:
                              server=server_id, hit=hit,
                              response_s=self.sim.now - req.arrival)
         self.metrics.record_completion(req, self.sim.now, server_id, hit)
+        if self.auditor is not None:
+            self.auditor.note_completion(req, server_id, hit)
         self.policy.on_complete(req, server_id, hit)
         callback = self._inject_callbacks.pop(id(req), None)
         if callback is not None:
@@ -391,4 +404,6 @@ class ClusterSimulator:
             ),
             warmup_until=warmup_until,
             dispatcher_lookups=self.dispatcher.lookups,
+            audit=(self.auditor.finalize()
+                   if self.auditor is not None else None),
         )

@@ -37,6 +37,11 @@ class Simulator:
         self._seq = itertools.count()
         self.now: float = 0.0
         self._events_processed = 0
+        #: Optional observation hook fired after every processed event
+        #: with the event's time.  Pure observation — the hook must not
+        #: schedule events or mutate state, so attaching one (the
+        #: simulation auditor does) cannot perturb a run.
+        self.on_event: Callable[[float], None] | None = None
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` when the clock reaches ``time``."""
@@ -63,6 +68,8 @@ class Simulator:
             self.now = time
             self._events_processed += 1
             fn()
+            if self.on_event is not None:
+                self.on_event(time)
         if until is not None:
             self.now = max(self.now, until)
 
@@ -74,6 +81,8 @@ class Simulator:
         self.now = time
         self._events_processed += 1
         fn()
+        if self.on_event is not None:
+            self.on_event(time)
         return True
 
     @property
@@ -175,11 +184,21 @@ class Resource:
     def busy(self) -> bool:
         return self._busy
 
-    def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` spent serving (current job included)."""
+    def busy_fraction(self, elapsed: float) -> float:
+        """Raw busy time over ``elapsed``, **unclamped**.
+
+        A single-server station can never be busy for longer than the
+        elapsed wall-clock, so a value above 1.0 is an accounting bug —
+        the simulation auditor asserts exactly that.  Reports use the
+        clamped :meth:`utilization` view.
+        """
         if elapsed <= 0:
             return 0.0
         busy = self.busy_time
         if self._busy:
             busy += self.sim.now - self._service_started
-        return min(1.0, busy / elapsed)
+        return busy / elapsed
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent serving (current job included)."""
+        return min(1.0, self.busy_fraction(elapsed))

@@ -53,13 +53,31 @@ class FailureSchedule:
         return len(self.failures)
 
     def install(self, cluster: "ClusterSimulator") -> None:
-        """Schedule all crash/recovery events on the cluster's engine."""
+        """Schedule all crash/recovery events on the cluster's engine.
+
+        Rejects overlapping outages on the same server: a crash landing
+        inside an existing outage would double-fire ``fail()`` and then
+        ``recover()`` a node that should still be down.  Back-to-back
+        outages (next crash exactly at the previous recovery) are fine —
+        events at equal times fire in scheduling order, so the recovery
+        precedes the crash.
+        """
         n = len(cluster.servers)
+        down_until: dict[int, float] = {}
         for failure in self.failures:
             if not 0 <= failure.server_id < n:
                 raise ValueError(
                     f"failure targets unknown server {failure.server_id}"
                 )
+            busy_until = down_until.get(failure.server_id, 0.0)
+            if failure.at < busy_until:
+                raise ValueError(
+                    f"overlapping outages on server {failure.server_id}: "
+                    f"crash at {failure.at} lands inside an outage "
+                    f"ending at {busy_until}"
+                )
+            down_until[failure.server_id] = max(busy_until,
+                                                failure.recovery_at)
         for failure in self.failures:
             server = cluster.servers[failure.server_id]
             cluster.sim.schedule_at(failure.at, self._make_crash(server))

@@ -18,7 +18,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-__all__ = ["TraceEvent", "RequestTracer"]
+__all__ = ["TraceEvent", "RequestTracer", "events_from_jsonl"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,6 +37,19 @@ class TraceEvent:
         d.update(dict(self.fields))
         return d
 
+    _BASE_KEYS = frozenset(("time", "kind", "conn_id", "path"))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEvent":
+        """Inverse of :meth:`as_dict` (JSONL round trip)."""
+        return cls(
+            time=d["time"], kind=d["kind"],
+            conn_id=d["conn_id"], path=d["path"],
+            fields=tuple(sorted(
+                (k, v) for k, v in d.items() if k not in cls._BASE_KEYS
+            )),
+        )
+
 
 class RequestTracer:
     """Collects request lifecycle events.
@@ -49,7 +62,7 @@ class RequestTracer:
         Optional predicates; events failing either are not recorded.
     """
 
-    KINDS = ("arrival", "routed", "complete")
+    KINDS = ("arrival", "routed", "complete", "audit")
 
     def __init__(
         self,
@@ -119,3 +132,9 @@ class RequestTracer:
             counts[e.kind] += 1
         counts["dropped"] = self.dropped
         return counts
+
+
+def events_from_jsonl(text: str) -> list[TraceEvent]:
+    """Parse :meth:`RequestTracer.to_jsonl` output back into events."""
+    return [TraceEvent.from_dict(json.loads(line))
+            for line in text.splitlines() if line.strip()]

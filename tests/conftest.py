@@ -1,0 +1,13 @@
+"""Shared test configuration: hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci`` — more examples, no deadline
+(shared runners have noisy clocks).  Local runs keep the fast default.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.register_profile("dev", max_examples=50)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -212,3 +212,129 @@ class TestInvariants:
             c.access(path)
             c.insert(path, 10)
         assert c.hits + c.misses == len(accesses)
+
+
+# -- stateful model check ----------------------------------------------------
+
+
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+
+class LRUCacheMachine(RuleBasedStateMachine):
+    """Random insert/access/evict/pin/unpin runs against a reference model.
+
+    The model replays the documented algorithm (LRU order, pinned files
+    skipped by eviction, up-front fit check) over plain lists; after
+    every step the cache must agree with it on contents, LRU order,
+    return values, byte accounting, and callback streams.
+    """
+
+    CAPACITY = 100
+    PATHS = [f"/f{i}" for i in range(8)]
+
+    def _size_of(self, path: str) -> int:
+        return (self.PATHS.index(path) + 1) * 9
+
+    def __init__(self):
+        super().__init__()
+        self.cb_inserted: list[str] = []
+        self.cb_evicted: list[str] = []
+        self.cache = LRUCache(self.CAPACITY,
+                              on_insert=self.cb_inserted.append,
+                              on_evict=self.cb_evicted.append)
+        #: model: LRU-first path order + per-path pinned flag
+        self.order: list[str] = []
+        self.pinned: dict[str, bool] = {}
+        self.model_inserted: list[str] = []
+        self.model_evicted: list[str] = []
+
+    def _model_resident(self) -> int:
+        return sum(self._size_of(p) for p in self.order)
+
+    def _model_pinned(self) -> int:
+        return sum(self._size_of(p) for p in self.order if self.pinned[p])
+
+    @rule(path=st.sampled_from(PATHS), pin=st.booleans())
+    def insert(self, path, pin):
+        size = self._size_of(path)
+        got = self.cache.insert(path, size, pinned=pin)
+        if path in self.pinned:
+            self.pinned[path] = pin
+            self.order.remove(path)
+            self.order.append(path)
+            assert got == []
+            return
+        if size > self.CAPACITY - self._model_pinned():
+            assert got == []
+            assert path not in self.cache
+            return
+        expect = []
+        while self._model_resident() + size > self.CAPACITY:
+            victim = next(p for p in self.order if not self.pinned[p])
+            self.order.remove(victim)
+            del self.pinned[victim]
+            expect.append(victim)
+            self.model_evicted.append(victim)
+        self.order.append(path)
+        self.pinned[path] = pin
+        self.model_inserted.append(path)
+        assert got == expect
+
+    @rule(path=st.sampled_from(PATHS))
+    def access(self, path):
+        hit = self.cache.access(path)
+        assert hit == (path in self.pinned)
+        if hit:
+            self.order.remove(path)
+            self.order.append(path)
+
+    @rule(path=st.sampled_from(PATHS))
+    def evict(self, path):
+        got = self.cache.evict(path)
+        assert got == (path in self.pinned)
+        if got:
+            self.order.remove(path)
+            del self.pinned[path]
+            self.model_evicted.append(path)
+
+    @rule(path=st.sampled_from(PATHS))
+    def pin(self, path):
+        assert self.cache.pin(path) == (path in self.pinned)
+        if path in self.pinned:
+            self.pinned[path] = True
+
+    @rule(path=st.sampled_from(PATHS))
+    def unpin(self, path):
+        assert self.cache.unpin(path) == (path in self.pinned)
+        if path in self.pinned:
+            self.pinned[path] = False
+
+    @rule()
+    def unpin_all(self):
+        expect = sum(1 for v in self.pinned.values() if v)
+        assert self.cache.unpin_all() == expect
+        for p in self.pinned:
+            self.pinned[p] = False
+
+    @invariant()
+    def byte_accounting(self):
+        entries = self.cache._entries
+        assert self.cache.resident_bytes == sum(
+            e.size for e in entries.values())
+        assert self.cache.pinned_bytes == sum(
+            e.size for e in entries.values() if e.pinned)
+        assert 0 <= self.cache.pinned_bytes <= self.cache.resident_bytes
+        assert self.cache.resident_bytes <= self.cache.capacity_bytes
+
+    @invariant()
+    def agrees_with_model(self):
+        assert self.cache.contents() == self.order
+        assert self.cache.resident_bytes == self._model_resident()
+        assert self.cache.pinned_bytes == self._model_pinned()
+        for p in self.order:
+            assert self.cache._entries[p].pinned == self.pinned[p]
+        assert self.cb_inserted == self.model_inserted
+        assert self.cb_evicted == self.model_evicted
+
+
+TestLRUCacheMachine = LRUCacheMachine.TestCase

@@ -82,6 +82,16 @@ class TestSimulator:
         assert observed == sorted(observed)
         assert len(observed) == len(times)
 
+    def test_on_event_hook_observes_every_event(self):
+        sim = Simulator()
+        seen = []
+        sim.on_event = seen.append
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.step()
+        sim.run()
+        assert seen == [1.0, 2.0]
+
 
 class TestResource:
     def test_fifo_service(self):
@@ -228,3 +238,81 @@ class TestResource:
         # sum of service times when all jobs arrive at t=0.
         assert max(done) == pytest.approx(total)
         assert res.busy_time == pytest.approx(total)
+
+    @given(st.lists(st.sampled_from([PRIORITY_DEMAND, PRIORITY_PREFETCH]),
+                    min_size=2, max_size=25))
+    def test_property_queued_demand_before_queued_prefetch(self, prios):
+        # Whatever the submission interleaving, once the first job (which
+        # starts immediately) is out of the way, every queued demand job
+        # completes before every queued prefetch job, FIFO within class.
+        sim = Simulator()
+        res = Resource(sim)
+        order = []
+        for i, prio in enumerate(prios):
+            res.submit(1.0, lambda i=i: order.append(i), priority=prio)
+        sim.run()
+        assert order[0] == 0
+        queued = list(range(1, len(prios)))
+        assert order[1:] == sorted(queued, key=lambda i: (prios[i], i))
+
+    @given(st.floats(min_value=0.5, max_value=10, allow_nan=False),
+           st.lists(st.floats(min_value=0.01, max_value=0.99),
+                    min_size=1, max_size=6))
+    def test_property_in_service_prefetch_never_preempted(
+            self, pf_service, fractions):
+        # Demand jobs arriving mid-service must wait: the in-service
+        # prefetch read completes exactly at its own service time.
+        sim = Simulator()
+        res = Resource(sim)
+        done = {}
+        res.submit(pf_service, lambda: done.setdefault("pf", sim.now),
+                   priority=PRIORITY_PREFETCH)
+        for k, frac in enumerate(fractions):
+            sim.schedule_at(frac * pf_service,
+                            lambda: res.submit(0.1, lambda: None))
+        sim.run()
+        assert done["pf"] == pytest.approx(pf_service)
+
+    @given(st.lists(st.sampled_from([PRIORITY_DEMAND, PRIORITY_PREFETCH]),
+                    min_size=1, max_size=15))
+    def test_property_promote_noop_cases(self, prios):
+        # promote() must refuse: a started job, an equal-priority target,
+        # and a demotion — and refused promotions must not disturb the
+        # (priority, submission-order) completion order.
+        sim = Simulator()
+        res = Resource(sim)
+        order = []
+        running = res.submit(1.0, lambda: order.append(-1))
+        assert not res.promote(running)  # already started
+        handles = [
+            res.submit(1.0, lambda i=i: order.append(i), priority=prio)
+            for i, prio in enumerate(prios)
+        ]
+        for handle, prio in zip(handles, prios):
+            assert not res.promote(handle, prio)  # equal priority
+            assert not res.promote(handle, PRIORITY_PREFETCH)  # never raises
+            if prio == PRIORITY_DEMAND:
+                assert not res.promote(handle)  # already demand
+        sim.run()
+        assert order[0] == -1
+        expected = sorted(range(len(prios)), key=lambda i: (prios[i], i))
+        assert order[1:] == expected
+
+    def test_busy_fraction_exposes_accounting_overrun(self):
+        # utilization() clamps to 1.0 for reporting; busy_fraction() must
+        # NOT, so the auditor can catch busy time exceeding wall-clock.
+        sim = Simulator()
+        res = Resource(sim)
+        res.submit(2.0, lambda: None)
+        sim.run()
+        res.busy_time = 8.0  # corrupt the books
+        assert res.busy_fraction(4.0) == pytest.approx(2.0)
+        assert res.utilization(4.0) == 1.0
+
+    def test_busy_fraction_counts_in_service_job(self):
+        sim = Simulator()
+        res = Resource(sim)
+        res.submit(4.0, lambda: None)
+        sim.run(until=2.0)
+        assert res.busy_fraction(2.0) == pytest.approx(1.0)
+        assert res.busy_fraction(0.0) == 0.0

@@ -159,3 +159,49 @@ class TestFailureEffects:
         crashed = driver.run()
         assert crashed.report.completed > 100
         assert crashed.hit_rate < base.hit_rate
+
+
+class TestOverlapRejection:
+    def test_overlapping_outages_same_server_rejected(self):
+        sched = FailureSchedule([
+            Failure(0, at=1.0, duration=2.0),
+            Failure(0, at=2.0, duration=1.0),  # lands inside [1, 3)
+        ])
+        with pytest.raises(ValueError, match="overlapping outages"):
+            ClusterSimulator(steady_trace(), WRRPolicy(), params(),
+                             failures=sched)
+
+    def test_overlap_with_earlier_long_outage_rejected(self):
+        # The second outage ends before the first; the third overlaps
+        # the *first* (not its immediate predecessor) and must still be
+        # caught.
+        sched = FailureSchedule([
+            Failure(0, at=0.5, duration=10.0),
+            Failure(0, at=1.0, duration=0.1),
+            Failure(0, at=2.0, duration=0.1),
+        ])
+        with pytest.raises(ValueError, match="overlapping outages"):
+            ClusterSimulator(steady_trace(), WRRPolicy(), params(),
+                             failures=sched)
+
+    def test_back_to_back_outages_allowed(self):
+        # Next crash exactly at the previous recovery: the recovery is
+        # scheduled first, so equal-time events fire in the safe order.
+        sched = FailureSchedule([
+            Failure(0, at=0.2, duration=0.2),
+            Failure(0, at=0.4, duration=0.2),
+        ])
+        result = ClusterSimulator(steady_trace(), WRRPolicy(), params(),
+                                  failures=sched).run()
+        assert sched.crashes_fired == 2
+        assert sched.recoveries_fired == 2
+        assert result.report.completed > 0
+
+    def test_same_window_different_servers_allowed(self):
+        sched = FailureSchedule([
+            Failure(0, at=0.2, duration=0.5),
+            Failure(1, at=0.3, duration=0.5),
+        ])
+        ClusterSimulator(steady_trace(), WRRPolicy(), params(),
+                         failures=sched).run()
+        assert sched.crashes_fired == 2

@@ -8,6 +8,7 @@ from repro.core import SimulationParams
 from repro.logs import Request, Trace
 from repro.policies import LARDPolicy, WRRPolicy
 from repro.sim import ClusterSimulator, RequestTracer
+from repro.sim.tracing import TraceEvent, events_from_jsonl
 
 
 def small_trace():
@@ -111,3 +112,60 @@ class TestClusterIntegration:
         result = ClusterSimulator(small_trace(), WRRPolicy(), params,
                                   warmup_fraction=0.0).run()
         assert result.report.completed == 3
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip_equality(self):
+        tracer = RequestTracer()
+        tracer.emit(0.5, "arrival", 1, "/a.html", embedded=False,
+                    dynamic=False)
+        tracer.emit(0.6, "routed", 1, "/a.html", server=2, dispatched=True,
+                    handoff=True, setup=True, relay=False, prefetches=0)
+        tracer.emit(0.9, "complete", 1, "/a.html", server=2, hit=True,
+                    response_s=0.4)
+        tracer.emit(1.0, "audit", -1, "cache", message="drift",
+                    resident_bytes=10)
+        parsed = events_from_jsonl(tracer.to_jsonl())
+        assert parsed == tracer.events()
+
+    def test_round_trip_from_cluster_run(self):
+        tracer = RequestTracer()
+        params = SimulationParams(n_backends=2, cache_bytes=1 << 20)
+        ClusterSimulator(small_trace(), LARDPolicy(), params,
+                         warmup_fraction=0.0, tracer=tracer).run()
+        text = tracer.to_jsonl()
+        parsed = events_from_jsonl(text)
+        assert parsed == tracer.events()
+        # And the text itself is honest JSONL, one object per event.
+        assert len(text.splitlines()) == len(tracer)
+        for line in text.splitlines():
+            json.loads(line)
+
+    def test_from_dict_sorts_extra_fields(self):
+        e = TraceEvent(time=1.0, kind="routed", conn_id=3, path="/x",
+                       fields=(("alpha", 1), ("beta", 2)))
+        assert TraceEvent.from_dict(e.as_dict()) == e
+
+    def test_empty_and_blank_lines_ignored(self):
+        assert events_from_jsonl("") == []
+        assert events_from_jsonl("\n  \n") == []
+
+
+class TestCapacityBound:
+    def test_capacity_drops_oldest(self):
+        t = RequestTracer(capacity=3)
+        for i in range(5):
+            t.emit(float(i), "arrival", i, f"/p{i}")
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert t.recorded == 5
+        # Oldest two were dropped; the newest three remain, in order.
+        assert [e.path for e in t.events()] == ["/p2", "/p3", "/p4"]
+        assert t.summary()["dropped"] == 2
+
+    def test_capacity_one(self):
+        t = RequestTracer(capacity=1)
+        t.emit(0.0, "arrival", 0, "/a")
+        t.emit(1.0, "arrival", 0, "/b")
+        assert [e.path for e in t.events()] == ["/b"]
+        assert t.dropped == 1
