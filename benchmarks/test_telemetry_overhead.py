@@ -1,0 +1,50 @@
+"""Telemetry overhead guard: observation must stay (nearly) free.
+
+The ISSUE's acceptance bar: enabling telemetry on a run costs < 10 %
+wall-clock.  Measured interleaved best-of-N — alternating plain and
+telemetered runs so load drift on a shared machine hits both variants
+equally — on a saturating BENCH-scale run.
+"""
+
+import time
+
+from repro.core import run_policy
+
+ROUNDS = 4
+MAX_OVERHEAD = 0.10
+
+
+def timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_telemetry_overhead_under_ten_percent(synthetic_loaded):
+    def plain():
+        return run_policy(synthetic_loaded, "prord")
+
+    def observed():
+        return run_policy(synthetic_loaded, "prord", telemetry=True)
+
+    plain()  # shared warm-up (imports, allocator, caches)
+    base_times, tel_times = [], []
+    for _ in range(ROUNDS):
+        base_times.append(timed(plain))
+        tel_times.append(timed(observed))
+    base, telemetered = min(base_times), min(tel_times)
+    overhead = telemetered / base - 1.0
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"({telemetered:.3f}s vs {base:.3f}s)"
+    )
+
+
+def test_telemetered_run_wall_clock(benchmark, synthetic_loaded):
+    """Absolute cost of a telemetered run, for the bench dashboard."""
+    result = benchmark.pedantic(
+        lambda: run_policy(synthetic_loaded, "prord", telemetry=True),
+        rounds=1, iterations=1,
+    )
+    assert result.telemetry is not None
+    assert result.telemetry.completions == result.report.all_completed

@@ -271,6 +271,76 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Telemetered grid run: dashboards on stdout, artifacts on disk."""
+    from datetime import datetime, timezone
+
+    from .experiments import FULL, QUICK
+    from .experiments.common import loaded_workload
+    from .experiments.runner import Cell, run_grid
+    from .obs import (
+        build_manifest,
+        merge_telemetry,
+        prometheus_text,
+        render_dashboard,
+        timeline_jsonl,
+        write_matplotlib_charts,
+    )
+
+    scale = FULL if args.full else QUICK
+    workloads = {name: loaded_workload(name, scale)
+                 for name in dict.fromkeys(args.workloads)}
+    cells = [Cell(workload=w, policy=p)
+             for w in workloads for p in args.policies]
+    results = run_grid(cells, scale, jobs=args.jobs, workloads=workloads,
+                       audit=args.audit, telemetry=True)
+
+    summaries = {}
+    for r in results:
+        title = f"{r.cell.policy} on {r.cell.workload}"
+        summaries[f"{r.cell.workload}-{r.cell.policy}"] = r.result.telemetry
+        print(render_dashboard(r.result.telemetry, title=title))
+        print()
+    merged = merge_telemetry([r.result.telemetry for r in results])
+    print(f"grid: {merged.n_runs} runs, {merged.completions} completions, "
+          f"p50 {merged.p50_response_s * 1e3:.2f} ms / "
+          f"p95 {merged.p95_response_s * 1e3:.2f} ms / "
+          f"p99 {merged.p99_response_s * 1e3:.2f} ms")
+
+    if args.out_dir is not None:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        entries = [
+            ({"workload": r.cell.workload, "policy": r.cell.policy},
+             r.result.telemetry)
+            for r in results
+        ]
+        jsonl_path = out_dir / "timeline.jsonl"
+        jsonl_path.write_text(timeline_jsonl(entries))
+        manifest = build_manifest(
+            results, scale,
+            workloads=workloads,
+            label="timeline",
+            created_at=datetime.now(timezone.utc).isoformat(
+                timespec="seconds"),
+        )
+        manifest_path = out_dir / "manifest.json"
+        manifest_path.write_text(manifest.to_json())
+        prom_path = out_dir / "metrics.prom"
+        prom_path.write_text(prometheus_text(merged, {"grid": "timeline"}))
+        print(f"wrote {jsonl_path}, {manifest_path}, {prom_path}")
+        print(f"manifest fingerprint: {manifest.fingerprint()}")
+
+    if args.charts:
+        try:
+            charts_dir = Path(args.out_dir or ".") / "charts"
+            written = write_matplotlib_charts(summaries, charts_dir)
+            print(f"wrote {len(written)} chart(s) to {charts_dir}")
+        except RuntimeError as exc:
+            print(f"note: --charts skipped ({exc})")
+    return 0
+
+
 # -- parser ------------------------------------------------------------------
 
 
@@ -399,6 +469,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pool size for the serial-vs-parallel grid check "
                         "(< 2 skips that check)")
     p.set_defaults(func=cmd_differential)
+
+    p = sub.add_parser(
+        "timeline",
+        help="telemetered grid run: per-backend sparkline dashboards, "
+             "timeline JSONL / Prometheus export, run manifest")
+    p.add_argument("--workloads", nargs="+",
+                   choices=sorted(WORKLOAD_PRESETS),
+                   default=["synthetic"])
+    p.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
+                   default=["lard", "prord"])
+    p.add_argument("--full", action="store_true",
+                   help="paper scale instead of quick scale")
+    p.add_argument("--out-dir", default=None,
+                   help="write timeline.jsonl, manifest.json and "
+                        "metrics.prom here")
+    p.add_argument("--charts", action="store_true",
+                   help="also write PNG charts (needs optional "
+                        "matplotlib; falls back to a note without it)")
+    add_jobs_option(p)
+    add_audit_option(p)
+    p.set_defaults(func=cmd_timeline)
 
     p = sub.add_parser("table1", help="print the Table-1 parameter set")
     p.set_defaults(func=cmd_table1)

@@ -16,7 +16,10 @@ harness use.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, replace as dc_replace
+from typing import TYPE_CHECKING
 
 from ..logs.records import Trace
 from ..logs.sessions import page_sequences, sessionize
@@ -35,6 +38,9 @@ from ..policies.wrr import WRRPolicy
 from ..sim.audit import SimulationAuditor
 from ..sim.cluster import ClusterSimulator, SimulationResult
 from .config import SimulationParams
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..obs.profiler import PhaseProfiler
 
 __all__ = [
     "MinedModels",
@@ -135,6 +141,7 @@ def mine_models(
     params: SimulationParams | None = None,
     *,
     predictor_kind: str = "depgraph",
+    profiler: "PhaseProfiler | None" = None,
 ) -> MinedModels:
     """Run the paper's offline web-log mining over the training log.
 
@@ -142,27 +149,44 @@ def mine_models(
     predictor: ``"depgraph"`` (the paper's n-order dependency graph) or
     ``"ppm"`` (the related-work Prediction-by-Partial-Match comparator,
     which shares the candidates/predict API).
+
+    ``profiler`` (optional) records the wall-clock of each mining stage
+    under ``mine.*`` phases — sessionize, depgraph, bundles, categorize,
+    popularity.
     """
     params = params or SimulationParams()
-    sessions = sessionize(workload.training_records)
-    sequences = page_sequences(sessions, min_length=2)
-    graph = DependencyGraph(order=params.depgraph_order).train(sequences)
-    if predictor_kind == "depgraph":
-        model: object = graph
-    elif predictor_kind == "ppm":
-        from ..mining.ppm import PPMPredictor
-        model = PPMPredictor(order=params.depgraph_order).train(sequences)
-    else:
-        raise ValueError(
-            f"unknown predictor_kind {predictor_kind!r}; "
-            "known: depgraph, ppm"
-        )
-    bundles: BundleTable = BundleMiner().mine_sessions(sessions)
-    try:
-        categorizer: UserCategorizer | None = UserCategorizer.mine(sequences)
-    except ValueError:
-        categorizer = None
-    rank_table = RankTable.from_records(workload.training_records)
+
+    def timed(name: str):
+        return profiler.phase(name) if profiler is not None else nullcontext()
+
+    with timed("mine.sessionize"):
+        sessions = sessionize(workload.training_records)
+        sequences = page_sequences(sessions, min_length=2)
+    with timed("mine.depgraph"):
+        graph = DependencyGraph(order=params.depgraph_order).train(sequences)
+        if predictor_kind == "depgraph":
+            model: object = graph
+        elif predictor_kind == "ppm":
+            from ..mining.ppm import PPMPredictor
+            model = PPMPredictor(order=params.depgraph_order).train(sequences)
+        else:
+            raise ValueError(
+                f"unknown predictor_kind {predictor_kind!r}; "
+                "known: depgraph, ppm"
+            )
+    with timed("mine.bundles"):
+        bundles: BundleTable = BundleMiner().mine_sessions(sessions)
+    with timed("mine.categorize"):
+        try:
+            categorizer: UserCategorizer | None = (
+                UserCategorizer.mine(sequences)
+            )
+        except ValueError:
+            categorizer = None
+    with timed("mine.popularity"):
+        rank_table = RankTable.from_records(workload.training_records)
+    if profiler is not None:
+        profiler.add_units("mine.sessionize", len(sequences))
     return MinedModels(
         graph=graph,
         model=model,
@@ -181,6 +205,7 @@ def mine_components(
     *,
     online_update: bool = True,
     predictor_kind: str = "depgraph",
+    profiler: "PhaseProfiler | None" = None,
 ) -> MiningResult:
     """Mine the training log and return ready-to-run per-run state.
 
@@ -189,7 +214,8 @@ def mine_components(
     same workload should mine once with :func:`mine_models` and stamp
     out per-run state instead of calling this repeatedly.
     """
-    models = mine_models(workload, params, predictor_kind=predictor_kind)
+    models = mine_models(workload, params, predictor_kind=predictor_kind,
+                         profiler=profiler)
     return models.runtime(params, online_update=online_update)
 
 
@@ -325,6 +351,7 @@ def run_policy(
     warmup_fraction: float = 0.1,
     window_s: float | None = None,
     audit: bool = False,
+    telemetry: bool = False,
 ) -> SimulationResult:
     """Mine (if needed), build, and run one policy over a workload.
 
@@ -336,7 +363,19 @@ def run_policy(
     (strict mode): structural invariants are checked throughout the run,
     the result carries an :class:`~repro.sim.audit.AuditSummary`, and
     the report is bit-identical to the unaudited run.
+
+    ``telemetry=True`` attaches a :class:`~repro.obs.telemetry.Telemetry`
+    recorder (timeline + latency histograms + phase profile); the result
+    carries a :class:`~repro.obs.telemetry.TelemetrySummary` and — same
+    contract as the auditor — the report is bit-identical either way.
+    Both observers can be on at once (their hooks chain).
     """
+    tel = None
+    profiler = None
+    if telemetry:
+        from ..obs.telemetry import Telemetry
+        tel = Telemetry()
+        profiler = tel.profiler
     params = params or SimulationParams()
     if cache_fraction is not None:
         params = params.with_overrides(
@@ -345,8 +384,10 @@ def run_policy(
             )
         )
     if mining is None and policy_name in MINING_POLICY_NAMES:
-        mining = mine_components(workload, params)
+        mining = mine_components(workload, params, profiler=profiler)
     policy, replicator = build_policy(policy_name, mining, params)
+    if replicator is not None and profiler is not None:
+        replicator.profiler = profiler
     trace = workload.trace
     if target_rps is not None:
         trace = scale_to_offered_load(trace, target_rps)
@@ -354,7 +395,7 @@ def run_policy(
     if params.cache_policy == "gdsf-pred":
         # Yang et al. [20]: future frequency from the offline ranking.
         if mining is None:
-            mining = mine_components(workload, params)
+            mining = mine_components(workload, params, profiler=profiler)
         future_weights = {
             path: 0.5 + mining.rank_table.rank(path)
             for path, _ in mining.rank_table.items()
@@ -365,8 +406,15 @@ def run_policy(
         window_s=window_s,
         future_weights=future_weights,
         auditor=SimulationAuditor() if audit else None,
+        telemetry=tel,
     )
-    return cluster.run()
+    if tel is None:
+        return cluster.run()
+    start = time.perf_counter()
+    result = cluster.run()
+    tel.profiler.record("simulate", time.perf_counter() - start,
+                        units=cluster.sim.events_processed)
+    return dc_replace(result, telemetry=tel.finalize())
 
 
 class PRORDSystem:
@@ -410,6 +458,7 @@ class PRORDSystem:
         warmup_fraction: float = 0.1,
         window_s: float | None = None,
         audit: bool = False,
+        telemetry: bool = False,
     ) -> SimulationResult:
         mining = None
         if policy_name in MINING_POLICY_NAMES:
@@ -422,6 +471,7 @@ class PRORDSystem:
             warmup_fraction=warmup_fraction,
             window_s=window_s,
             audit=audit,
+            telemetry=telemetry,
         )
 
     def compare(

@@ -24,9 +24,11 @@ from .fig8 import Fig8Row, run_fig8
 from .fig9 import Fig9Row, run_fig9
 from .report import run_all
 from .runner import (
+    BENCH_SCHEMA,
     Cell,
     CellResult,
     bench_payload,
+    read_bench_payload,
     run_grid,
     write_bench_json,
 )
@@ -36,7 +38,8 @@ __all__ = [
     "bar_chart", "grouped_bar_chart", "sparkline",
     "FULL", "QUICK", "ExperimentScale", "format_table", "gain",
     "loaded_workload", "run_comparison",
-    "Cell", "CellResult", "run_grid", "bench_payload", "write_bench_json",
+    "BENCH_SCHEMA", "Cell", "CellResult", "run_grid",
+    "bench_payload", "read_bench_payload", "write_bench_json",
     "Fig6Row", "run_fig6",
     "Fig7Row", "run_fig7", "run_fig7_backend_sweep",
     "Fig8Row", "run_fig8",

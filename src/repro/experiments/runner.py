@@ -42,10 +42,12 @@ from ..sim.cluster import SimulationResult
 from .common import ExperimentScale, loaded_workload
 
 __all__ = [
+    "BENCH_SCHEMA",
     "Cell",
     "CellResult",
     "run_grid",
     "bench_payload",
+    "read_bench_payload",
     "write_bench_json",
     "resolve_jobs",
 ]
@@ -95,6 +97,8 @@ class _GridContext:
                   tuple[Workload, MinedModels | None]]
     #: attach a strict SimulationAuditor to every cell's run
     audit: bool = False
+    #: attach a Telemetry recorder to every cell's run
+    telemetry: bool = False
 
 
 #: Per-process context installed by the pool initializer (workers only).
@@ -124,6 +128,7 @@ def _execute_cell(ctx: _GridContext, cell: Cell) -> CellResult:
         warmup_fraction=scale.warmup_fraction,
         window_s=scale.duration_s,
         audit=ctx.audit,
+        telemetry=ctx.telemetry,
     )
     return CellResult(
         cell=cell,
@@ -144,6 +149,7 @@ def _build_context(
     params: SimulationParams | None,
     workloads: Mapping[str, Workload] | None,
     audit: bool = False,
+    telemetry: bool = False,
 ) -> _GridContext:
     """Generate workloads and mine models — once per distinct key."""
     mining_params = params or SimulationParams(n_backends=scale.n_backends)
@@ -171,7 +177,7 @@ def _build_context(
                   if key in needs_mining else None)
         entries[key] = (workload, models)
     return _GridContext(scale=scale, base_params=params, entries=entries,
-                        audit=audit)
+                        audit=audit, telemetry=telemetry)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -189,6 +195,7 @@ def run_grid(
     params: SimulationParams | None = None,
     workloads: Mapping[str, Workload] | None = None,
     audit: bool = False,
+    telemetry: bool = False,
 ) -> list[CellResult]:
     """Execute a grid of cells; results come back in cell order.
 
@@ -217,11 +224,18 @@ def run_grid(
         results (reports included) are bit-identical to ``audit=False``;
         any invariant violation raises
         :class:`~repro.sim.audit.AuditError`.
+    telemetry:
+        Attach a :class:`~repro.obs.telemetry.Telemetry` recorder to
+        every cell's run; each :class:`CellResult`'s result then carries
+        a picklable :class:`~repro.obs.telemetry.TelemetrySummary`.
+        Pure observation like the auditor, so reports stay bit-identical
+        and serial/parallel telemetry agree on their deterministic view.
     """
     cells = list(cells)
     if not cells:
         return []
-    ctx = _build_context(cells, scale, params, workloads, audit=audit)
+    ctx = _build_context(cells, scale, params, workloads, audit=audit,
+                         telemetry=telemetry)
     jobs = resolve_jobs(jobs)
     if jobs >= 2 and len(cells) >= 2:
         n_workers = min(jobs, len(cells))
@@ -236,6 +250,15 @@ def run_grid(
 
 # -- perf artifact -----------------------------------------------------------
 
+#: Current bench artifact schema.  v2 adds per-cell ``p95_response_ms``,
+#: ``load_imbalance`` and (for telemetered runs) ``phase_timings``;
+#: :func:`read_bench_payload` upgrades v1 files in place.
+BENCH_SCHEMA = "prord-bench-experiments/v2"
+_BENCH_SCHEMA_V1 = "prord-bench-experiments/v1"
+
+#: Cell keys v2 guarantees; the v1 shim fills the missing ones with None.
+_V2_CELL_KEYS = ("p95_response_ms", "load_imbalance", "phase_timings")
+
 
 def bench_payload(
     results: Sequence[CellResult],
@@ -243,28 +266,67 @@ def bench_payload(
     label: str | None = None,
 ) -> dict:
     """Machine-readable per-cell perf record (wall-clock, throughput, hits)."""
+    cells = []
+    for r in results:
+        cell = {
+            "workload": r.cell.workload,
+            "policy": r.cell.policy,
+            "n_backends": r.result.n_backends,
+            "cache_fraction": r.cache_fraction,
+            "seed_offset": r.cell.seed_offset,
+            "wall_clock_s": round(r.wall_clock_s, 6),
+            "throughput_rps": r.result.throughput_rps,
+            "hit_rate": r.result.hit_rate,
+            "mean_response_ms": r.result.mean_response_s * 1e3,
+            "p95_response_ms": r.result.report.p95_response_s * 1e3,
+            "load_imbalance": r.result.report.load_imbalance,
+            "completed": r.result.report.completed,
+            "dispatches": r.result.report.dispatches,
+            "phase_timings": None,
+        }
+        telemetry = r.result.telemetry
+        if telemetry is not None:
+            cell["phase_timings"] = {
+                name: {
+                    "wall_s": round(t.wall_s, 6),
+                    "calls": t.calls,
+                    "units": t.units,
+                }
+                for name, t in telemetry.phases
+            }
+        cells.append(cell)
     return {
-        "schema": "prord-bench-experiments/v1",
+        "schema": BENCH_SCHEMA,
         "label": label,
         "total_wall_clock_s": round(
             sum(r.wall_clock_s for r in results), 6),
-        "cells": [
-            {
-                "workload": r.cell.workload,
-                "policy": r.cell.policy,
-                "n_backends": r.result.n_backends,
-                "cache_fraction": r.cache_fraction,
-                "seed_offset": r.cell.seed_offset,
-                "wall_clock_s": round(r.wall_clock_s, 6),
-                "throughput_rps": r.result.throughput_rps,
-                "hit_rate": r.result.hit_rate,
-                "mean_response_ms": r.result.mean_response_s * 1e3,
-                "completed": r.result.report.completed,
-                "dispatches": r.result.report.dispatches,
-            }
-            for r in results
-        ],
+        "cells": cells,
     }
+
+
+def read_bench_payload(source: Path | str | Mapping) -> dict:
+    """Load a bench artifact, upgrading v1 files to the v2 cell shape.
+
+    v1 cells predate ``p95_response_ms`` / ``load_imbalance`` /
+    ``phase_timings``; the shim fills them with ``None`` so consumers
+    can rely on the v2 keys regardless of which writer produced the
+    file.  Unknown schemas raise :class:`ValueError`.
+    """
+    if isinstance(source, Mapping):
+        payload = dict(source)
+    else:
+        payload = json.loads(Path(source).read_text())
+    schema = payload.get("schema")
+    if schema == BENCH_SCHEMA:
+        return payload
+    if schema == _BENCH_SCHEMA_V1:
+        payload["schema"] = BENCH_SCHEMA
+        payload["cells"] = [
+            {**{key: None for key in _V2_CELL_KEYS}, **cell}
+            for cell in payload.get("cells", [])
+        ]
+        return payload
+    raise ValueError(f"unknown bench schema {schema!r}")
 
 
 def write_bench_json(

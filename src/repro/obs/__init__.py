@@ -1,0 +1,79 @@
+"""Observability layer: timelines, histograms, profiling, manifests.
+
+``repro.obs`` watches a simulation without steering it.  Every collector
+here rides the engine's pure-observation ``on_event`` hook (the same
+attachment point as :mod:`repro.sim.audit`, and the two chain), so a
+telemetered run produces a bit-identical
+:class:`~repro.sim.stats.SimulationReport` to a bare one — the
+differential harness enforces this.
+
+Entry points:
+
+* :class:`Telemetry` — per-run umbrella (timeline + histograms +
+  phases); pass ``telemetry=True`` to
+  :func:`~repro.core.system.run_policy` or ``--telemetry`` to the CLIs.
+* :func:`merge_telemetry` — fold per-run summaries across a grid.
+* :func:`build_manifest` / :class:`RunManifest` — provenance records
+  with deterministic fingerprints.
+* :mod:`~repro.obs.export` / :mod:`~repro.obs.dashboard` — JSONL / CSV
+  / Prometheus text, and terminal sparkline dashboards.
+"""
+
+from .dashboard import (
+    matplotlib_available,
+    render_dashboard,
+    write_matplotlib_charts,
+)
+from .export import (
+    prometheus_text,
+    timeline_csv,
+    timeline_jsonl,
+    windows_from_jsonl,
+)
+from .histogram import StreamingHistogram
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    build_manifest,
+    workload_identity,
+)
+from .profiler import PhaseProfiler, PhaseTiming
+from .telemetry import (
+    DEFAULT_WINDOWS_PER_RUN,
+    MergedTelemetry,
+    Telemetry,
+    TelemetrySummary,
+    merge_telemetry,
+)
+from .timeline import (
+    ServerWindow,
+    Timeline,
+    TimelineRecorder,
+    TimelineWindow,
+)
+
+__all__ = [
+    "DEFAULT_WINDOWS_PER_RUN",
+    "MANIFEST_SCHEMA",
+    "MergedTelemetry",
+    "PhaseProfiler",
+    "PhaseTiming",
+    "RunManifest",
+    "ServerWindow",
+    "StreamingHistogram",
+    "Telemetry",
+    "TelemetrySummary",
+    "Timeline",
+    "TimelineRecorder",
+    "TimelineWindow",
+    "build_manifest",
+    "matplotlib_available",
+    "merge_telemetry",
+    "prometheus_text",
+    "render_dashboard",
+    "timeline_csv",
+    "timeline_jsonl",
+    "windows_from_jsonl",
+    "workload_identity",
+    "write_matplotlib_charts",
+]

@@ -22,11 +22,13 @@ LRU.  A per-round byte budget bounds replication traffic.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from ..mining.popularity import PopularityTracker, RankTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profiler import PhaseProfiler
     from ..sim.cluster import ClusterSimulator
 
 __all__ = ["ReplicationEngine"]
@@ -71,6 +73,9 @@ class ReplicationEngine:
         self.rounds = 0
         self.replicas_pushed = 0
         self.bytes_pushed = 0
+        #: Optional wall-clock profiler; when set, each round records a
+        #: ``replicate`` phase (units = replicas pushed).
+        self.profiler: "PhaseProfiler | None" = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -130,6 +135,15 @@ class ReplicationEngine:
 
     def run_round(self) -> int:
         """One replication pass; returns replicas pushed this round."""
+        if self.profiler is None:
+            return self._run_round()
+        start = time.perf_counter()
+        pushed = self._run_round()
+        self.profiler.record("replicate", time.perf_counter() - start,
+                             units=pushed)
+        return pushed
+
+    def _run_round(self) -> int:
         cluster = self.cluster
         servers = cluster.servers
         params = cluster.params

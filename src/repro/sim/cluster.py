@@ -20,7 +20,7 @@ raise offered load.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Mapping, Protocol, runtime_checkable
 
 from ..core.config import SimulationParams
 from ..logs.records import Request, Trace
@@ -33,6 +33,9 @@ from .server import BackendServer
 from .stats import MetricsCollector, SimulationReport
 from .failures import FailureSchedule
 from .tracing import RequestTracer
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..obs.telemetry import Telemetry, TelemetrySummary
 
 __all__ = ["Replicator", "SimulationResult", "ClusterSimulator"]
 
@@ -63,6 +66,10 @@ class SimulationResult:
     #: zero invariant violations.  The report itself is bit-identical
     #: with and without auditing — the hook is pure observation.
     audit: AuditSummary | None = None
+    #: Present when the run was telemetered (``--telemetry``): timeline,
+    #: latency histograms, phase profile.  Like the audit layer, pure
+    #: observation — the report is bit-identical either way.
+    telemetry: "TelemetrySummary | None" = None
 
     @property
     def throughput_rps(self) -> float:
@@ -117,6 +124,7 @@ class ClusterSimulator:
         failures: "FailureSchedule | None" = None,
         future_weights: Mapping[str, float] | None = None,
         auditor: "SimulationAuditor | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
@@ -187,6 +195,11 @@ class ClusterSimulator:
         self.auditor = auditor
         if auditor is not None:
             auditor.attach(self)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            # After the auditor: the recorder chains onto any hook
+            # already installed, so both observers see every event.
+            telemetry.attach(self)
         self.failures = failures
         if failures is not None:
             failures.install(self)
@@ -356,6 +369,8 @@ class ClusterSimulator:
         self.metrics.record_completion(req, self.sim.now, server_id, hit)
         if self.auditor is not None:
             self.auditor.note_completion(req, server_id, hit)
+        if self.telemetry is not None:
+            self.telemetry.note_completion(req, server_id, hit)
         self.policy.on_complete(req, server_id, hit)
         callback = self._inject_callbacks.pop(id(req), None)
         if callback is not None:

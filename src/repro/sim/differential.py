@@ -16,6 +16,9 @@ contracts the paper's PRORD-vs-LARD comparisons silently assume:
   ordering makes this hold; this check keeps it held);
 * **audit transparency** — attaching a :class:`SimulationAuditor` must
   not perturb the report (the engine hook is pure observation);
+* **telemetry transparency** — attaching a
+  :class:`~repro.obs.telemetry.Telemetry` recorder must not perturb the
+  report either (same pure-observation contract, second consumer);
 * **serial/parallel equivalence** — the experiment grid's
   process-pool fan-out (``--jobs``) must return cell results
   bit-identical to the in-process loop.
@@ -44,6 +47,7 @@ __all__ = [
     "check_degenerate_prord",
     "check_determinism",
     "check_audit_transparency",
+    "check_telemetry_transparency",
     "check_grid_parallel",
     "run_differential_suite",
 ]
@@ -238,6 +242,53 @@ def check_audit_transparency(
     )
 
 
+def check_telemetry_transparency(
+    workload: "Workload",
+    scale: "ExperimentScale",
+    policy_name: str,
+    params: "SimulationParams | None" = None,
+) -> DifferentialCheck:
+    """Telemetry must not perturb the run (same contract as the audit)."""
+    from ..core.system import run_policy
+
+    params = _base_params(workload, scale, params)
+
+    def run(telemetry: bool) -> "SimulationResult":
+        return run_policy(
+            workload, policy_name, params,
+            cache_fraction=None,
+            warmup_fraction=scale.warmup_fraction,
+            window_s=scale.duration_s,
+            telemetry=telemetry,
+        )
+
+    plain = run(telemetry=False)
+    telemetered = run(telemetry=True)
+    name = f"telemetry-transparency[{policy_name}]"
+    summary = telemetered.telemetry
+    if summary is None:
+        return DifferentialCheck(
+            name, False, "telemetered run carries no TelemetrySummary"
+        )
+    check = _compare(
+        name, report_fields(plain), report_fields(telemetered),
+        f"{policy_name} telemetry-off vs telemetry-on on {workload.name}",
+    )
+    if not check.passed:
+        return check
+    if summary.completions != telemetered.report.all_completed:
+        return DifferentialCheck(
+            name, False,
+            f"telemetry counted {summary.completions} completions, "
+            f"report has {telemetered.report.all_completed}",
+        )
+    return DifferentialCheck(
+        name, True,
+        f"{check.detail}; {len(summary.timeline)} windows, "
+        f"{summary.completions} completions observed",
+    )
+
+
 def check_grid_parallel(
     workload: "Workload",
     scale: "ExperimentScale",
@@ -281,7 +332,7 @@ def run_differential_suite(
 ) -> DifferentialReport:
     """Run the whole differential battery over one workload.
 
-    Degenerate equivalence, per-policy determinism and audit
+    Degenerate equivalence, per-policy determinism, audit and telemetry
     transparency, and (``jobs >= 2``) serial-vs-pool grid equivalence.
     """
     from ..experiments.common import QUICK, loaded_workload
@@ -297,6 +348,10 @@ def run_differential_suite(
         )
         checks.append(
             check_audit_transparency(workload, scale, policy_name, params)
+        )
+        checks.append(
+            check_telemetry_transparency(workload, scale, policy_name,
+                                         params)
         )
     if jobs >= 2:
         checks.append(

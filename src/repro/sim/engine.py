@@ -184,6 +184,19 @@ class Resource:
     def busy(self) -> bool:
         return self._busy
 
+    @property
+    def cumulative_busy_s(self) -> float:
+        """Total busy seconds so far, including the in-service span.
+
+        Monotone non-decreasing in simulated time, which lets samplers
+        (the telemetry timeline) difference consecutive snapshots to get
+        exact per-window busy time.
+        """
+        busy = self.busy_time
+        if self._busy:
+            busy += self.sim.now - self._service_started
+        return busy
+
     def busy_fraction(self, elapsed: float) -> float:
         """Raw busy time over ``elapsed``, **unclamped**.
 

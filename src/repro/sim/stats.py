@@ -59,6 +59,7 @@ class SimulationReport:
     mean_response_s: float
     median_response_s: float
     p95_response_s: float
+    p99_response_s: float
     hit_rate: float
     dispatches: int
     handoffs: int
@@ -101,6 +102,9 @@ class SimulationReport:
         return (
             f"thr={self.throughput_rps:9.1f} rps  "
             f"resp={self.mean_response_s * 1e3:8.2f} ms  "
+            f"p50={self.median_response_s * 1e3:7.2f}  "
+            f"p95={self.p95_response_s * 1e3:7.2f}  "
+            f"p99={self.p99_response_s * 1e3:8.2f} ms  "
             f"hit={self.hit_rate:6.1%}  "
             f"disp/req={self.dispatch_frequency:5.2f}"
         )
@@ -202,7 +206,8 @@ class MetricsCollector:
                 completed=0, all_completed=len(self._records),
                 throughput_rps=0.0, drain_throughput_rps=0.0,
                 mean_response_s=0.0,
-                median_response_s=0.0, p95_response_s=0.0, hit_rate=0.0,
+                median_response_s=0.0, p95_response_s=0.0,
+                p99_response_s=0.0, hit_rate=0.0,
                 dispatches=self.dispatches, handoffs=self.handoffs,
                 connections=self.connections,
                 prefetches_issued=self.prefetches_issued,
@@ -230,6 +235,7 @@ class MetricsCollector:
             mean_response_s=float(responses.mean()),
             median_response_s=float(np.median(responses)),
             p95_response_s=float(np.percentile(responses, 95)),
+            p99_response_s=float(np.percentile(responses, 99)),
             hit_rate=hits / len(recs),
             dispatches=self.dispatches,
             handoffs=self.handoffs,

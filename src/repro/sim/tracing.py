@@ -60,6 +60,11 @@ class RequestTracer:
         Maximum retained events (FIFO eviction).
     path_filter / conn_filter:
         Optional predicates; events failing either are not recorded.
+
+    Bookkeeping distinguishes *why* an event is absent: ``filtered``
+    counts events a predicate rejected, ``dropped`` counts recorded
+    events later evicted by the capacity bound, and ``recorded`` counts
+    every event accepted (evicted or not).
     """
 
     KINDS = ("arrival", "routed", "complete", "audit")
@@ -78,6 +83,7 @@ class RequestTracer:
         self.conn_filter = conn_filter
         self.dropped = 0
         self.recorded = 0
+        self.filtered = 0
 
     def emit(self, time: float, kind: str, conn_id: int, path: str,
              **fields: object) -> None:
@@ -85,8 +91,10 @@ class RequestTracer:
         if kind not in self.KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         if self.path_filter is not None and not self.path_filter(path):
+            self.filtered += 1
             return
         if self.conn_filter is not None and not self.conn_filter(conn_id):
+            self.filtered += 1
             return
         if len(self._events) == self._events.maxlen:
             self.dropped += 1
@@ -123,18 +131,42 @@ class RequestTracer:
     # -- export -------------------------------------------------------------
 
     def to_jsonl(self) -> str:
-        """Events as JSON-lines text."""
-        return "\n".join(json.dumps(e.as_dict()) for e in self._events)
+        """Events as JSON-lines text, ending in a bookkeeping footer.
+
+        The footer carries ``recorded``/``dropped``/``filtered`` so a
+        reader can tell an intentionally sparse trace (filters) from a
+        truncated one (capacity evictions); :func:`events_from_jsonl`
+        skips it.
+        """
+        lines = [json.dumps(e.as_dict()) for e in self._events]
+        lines.append(json.dumps({
+            "footer": True,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "filtered": self.filtered,
+        }))
+        return "\n".join(lines)
 
     def summary(self) -> dict[str, int]:
         counts: dict[str, int] = {k: 0 for k in self.KINDS}
         for e in self._events:
             counts[e.kind] += 1
         counts["dropped"] = self.dropped
+        counts["filtered"] = self.filtered
         return counts
 
 
 def events_from_jsonl(text: str) -> list[TraceEvent]:
-    """Parse :meth:`RequestTracer.to_jsonl` output back into events."""
-    return [TraceEvent.from_dict(json.loads(line))
-            for line in text.splitlines() if line.strip()]
+    """Parse :meth:`RequestTracer.to_jsonl` output back into events.
+
+    The bookkeeping footer (``{"footer": true, ...}``) is skipped.
+    """
+    events = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        d = json.loads(line)
+        if d.get("footer"):
+            continue
+        events.append(TraceEvent.from_dict(d))
+    return events

@@ -10,6 +10,7 @@ from repro.sim.differential import (
     check_degenerate_prord,
     check_determinism,
     check_grid_parallel,
+    check_telemetry_transparency,
     run_differential_suite,
 )
 from tests.test_audit import MICRO
@@ -38,6 +39,12 @@ class TestIndividualChecks:
         assert check.passed, check.detail
         assert "0 violations" in check.detail
 
+    @pytest.mark.parametrize("policy_name", ("lard", "prord"))
+    def test_telemetry_transparency(self, workload, policy_name):
+        check = check_telemetry_transparency(workload, MICRO, policy_name)
+        assert check.passed, check.detail
+        assert "completions observed" in check.detail
+
     def test_grid_parallel_matches_serial(self, workload):
         check = check_grid_parallel(
             workload, MICRO, ("wrr", "lard", "prord"), jobs=2
@@ -54,11 +61,13 @@ class TestSuite:
         assert isinstance(report, DifferentialReport)
         assert report.passed, report.format()
         names = [c.name for c in report.checks]
-        # degenerate + (determinism, transparency) per policy + grid.
+        # degenerate + (determinism, audit, telemetry) per policy + grid.
         assert names == [
             "degenerate-prord",
             "determinism[lard]", "audit-transparency[lard]",
+            "telemetry-transparency[lard]",
             "determinism[prord]", "audit-transparency[prord]",
+            "telemetry-transparency[prord]",
             "grid-parallel[jobs=2]",
         ]
 

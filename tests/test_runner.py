@@ -151,7 +151,7 @@ class TestBenchArtifact:
     def test_payload_shape(self):
         results = run_grid(GRID[:2], MICRO, jobs=0)
         payload = bench_payload(results, label="unit")
-        assert payload["schema"] == "prord-bench-experiments/v1"
+        assert payload["schema"] == "prord-bench-experiments/v2"
         assert payload["label"] == "unit"
         assert payload["total_wall_clock_s"] > 0
         assert len(payload["cells"]) == 2
@@ -162,6 +162,10 @@ class TestBenchArtifact:
             assert cell["throughput_rps"] > 0
             assert 0 <= cell["hit_rate"] <= 1
             assert cell["completed"] > 0
+            assert cell["p95_response_ms"] >= 0
+            assert cell["load_imbalance"] >= 1.0
+            # phase_timings is populated only for telemetered grids.
+            assert cell["phase_timings"] is None
 
     def test_write_bench_json(self, tmp_path):
         import json
@@ -170,5 +174,5 @@ class TestBenchArtifact:
         path = write_bench_json(results, tmp_path / "sub" / "bench.json",
                                 label="unit")
         data = json.loads(path.read_text())
-        assert data["schema"] == "prord-bench-experiments/v1"
+        assert data["schema"] == "prord-bench-experiments/v2"
         assert len(data["cells"]) == 1

@@ -48,6 +48,21 @@ class TestTracerUnit:
         t.emit(0.0, "arrival", 8, "/y.html")
         assert len(t) == 1
 
+    def test_filtered_counter_and_footer(self):
+        t = RequestTracer(capacity=1,
+                          path_filter=lambda p: p.endswith(".html"))
+        t.emit(0.0, "arrival", 0, "/a.gif")   # filtered
+        t.emit(0.1, "arrival", 0, "/a.html")
+        t.emit(0.2, "arrival", 0, "/b.html")  # evicts /a.html
+        t.emit(0.3, "arrival", 1, "/b.gif")   # filtered
+        assert t.filtered == 2
+        assert t.dropped == 1
+        assert t.recorded == 2
+        assert t.summary()["filtered"] == 2
+        footer = json.loads(t.to_jsonl().splitlines()[-1])
+        assert footer == {"footer": True, "recorded": 2,
+                          "dropped": 1, "filtered": 2}
+
     def test_capacity_fifo(self):
         t = RequestTracer(capacity=2)
         for i in range(4):
@@ -136,8 +151,9 @@ class TestRoundTrip:
         text = tracer.to_jsonl()
         parsed = events_from_jsonl(text)
         assert parsed == tracer.events()
-        # And the text itself is honest JSONL, one object per event.
-        assert len(text.splitlines()) == len(tracer)
+        # And the text itself is honest JSONL: one object per event
+        # plus the bookkeeping footer line.
+        assert len(text.splitlines()) == len(tracer) + 1
         for line in text.splitlines():
             json.loads(line)
 
