@@ -251,7 +251,8 @@ def cmd_capacity(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from .experiments import FULL, QUICK
     from .experiments.report import run_all
-    run_all(FULL if args.full else QUICK, jobs=args.jobs, audit=args.audit)
+    run_all(FULL if args.full else QUICK, jobs=args.jobs, audit=args.audit,
+            model_cache=args.model_cache)
     return 0
 
 
@@ -261,7 +262,7 @@ def cmd_fig(args: argparse.Namespace) -> int:
     module = {"fig6": fig6, "fig7": fig7,
               "fig8": fig8, "fig9": fig9}[args.figure]
     module.main(FULL if args.full else QUICK, jobs=args.jobs,
-                audit=args.audit)
+                audit=args.audit, model_cache=args.model_cache)
     return 0
 
 
@@ -293,7 +294,8 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     cells = [Cell(workload=w, policy=p)
              for w in workloads for p in args.policies]
     results = run_grid(cells, scale, jobs=args.jobs, workloads=workloads,
-                       audit=args.audit, telemetry=True)
+                       audit=args.audit, telemetry=True,
+                       model_cache=args.model_cache)
 
     summaries = {}
     for r in results:
@@ -438,11 +440,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the experiment grid "
                             "(0 = serial; results are identical either way)")
 
+    def add_model_cache_option(p):
+        p.add_argument("--model-cache", metavar="DIR", default=None,
+                       help="directory caching mined models on disk; "
+                            "repeated runs on unchanged workloads skip "
+                            "the mining phases (results are identical "
+                            "either way)")
+
     p = sub.add_parser("report", help="regenerate the paper's figures")
     p.add_argument("--full", action="store_true",
                    help="paper scale instead of quick scale")
     add_jobs_option(p)
     add_audit_option(p)
+    add_model_cache_option(p)
     p.set_defaults(func=cmd_report)
 
     for figure in ("fig6", "fig7", "fig8", "fig9"):
@@ -452,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="paper scale instead of quick scale")
         add_jobs_option(p)
         add_audit_option(p)
+        add_model_cache_option(p)
         p.set_defaults(func=cmd_fig, figure=figure)
 
     p = sub.add_parser(
@@ -489,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "matplotlib; falls back to a note without it)")
     add_jobs_option(p)
     add_audit_option(p)
+    add_model_cache_option(p)
     p.set_defaults(func=cmd_timeline)
 
     p = sub.add_parser("table1", help="print the Table-1 parameter set")

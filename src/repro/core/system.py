@@ -40,6 +40,7 @@ from ..sim.cluster import ClusterSimulator, SimulationResult
 from .config import SimulationParams
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..mining.modelcache import ModelCache
     from ..obs.profiler import PhaseProfiler
 
 __all__ = [
@@ -352,6 +353,7 @@ def run_policy(
     window_s: float | None = None,
     audit: bool = False,
     telemetry: bool = False,
+    model_cache: "ModelCache | str | None" = None,
 ) -> SimulationResult:
     """Mine (if needed), build, and run one policy over a workload.
 
@@ -369,6 +371,13 @@ def run_policy(
     carries a :class:`~repro.obs.telemetry.TelemetrySummary` and — same
     contract as the auditor — the report is bit-identical either way.
     Both observers can be on at once (their hooks chain).
+
+    ``model_cache`` (a :class:`~repro.mining.modelcache.ModelCache` or a
+    directory path) serves the offline mining pass from disk when the
+    workload and mining config are unchanged — the ``mine.*`` phases are
+    skipped entirely on a hit.  Cached and freshly-mined runs are
+    bit-identical because :class:`MinedModels` is a pure function of
+    exactly the inputs the cache key hashes.
     """
     tel = None
     profiler = None
@@ -383,8 +392,14 @@ def run_policy(
                 workload, cache_fraction, params.n_backends
             )
         )
+    def _mine() -> MiningResult:
+        from ..mining.modelcache import cached_mine_models
+        models = cached_mine_models(workload, params, cache=model_cache,
+                                    profiler=profiler)
+        return models.runtime(params)
+
     if mining is None and policy_name in MINING_POLICY_NAMES:
-        mining = mine_components(workload, params, profiler=profiler)
+        mining = _mine()
     policy, replicator = build_policy(policy_name, mining, params)
     if replicator is not None and profiler is not None:
         replicator.profiler = profiler
@@ -395,7 +410,7 @@ def run_policy(
     if params.cache_policy == "gdsf-pred":
         # Yang et al. [20]: future frequency from the offline ranking.
         if mining is None:
-            mining = mine_components(workload, params, profiler=profiler)
+            mining = _mine()
         future_weights = {
             path: 0.5 + mining.rank_table.rank(path)
             for path, _ in mining.rank_table.items()
@@ -429,16 +444,23 @@ class PRORDSystem:
         self,
         workload: Workload,
         params: SimulationParams | None = None,
+        *,
+        model_cache: "ModelCache | str | None" = None,
     ) -> None:
         self.workload = workload
         self.params = params or SimulationParams()
+        self.model_cache = model_cache
         self._models: MinedModels | None = None
 
     @property
     def models(self) -> MinedModels:
-        """The shared offline mining pass (mined lazily, once)."""
+        """The shared offline mining pass (mined lazily, once; served
+        from the optional disk cache when the workload is unchanged)."""
         if self._models is None:
-            self._models = mine_models(self.workload, self.params)
+            from ..mining.modelcache import cached_mine_models
+            self._models = cached_mine_models(
+                self.workload, self.params, cache=self.model_cache
+            )
         return self._models
 
     @property

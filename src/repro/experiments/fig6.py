@@ -41,6 +41,7 @@ def run_fig6(
     *,
     jobs: int = 0,
     audit: bool = False,
+    model_cache=None,
 ) -> list[Fig6Row]:
     """Regenerate the Fig. 6 series."""
     cells = [Cell(workload=w, policy=p) for w in workloads for p in POLICIES]
@@ -51,13 +52,15 @@ def run_fig6(
             requests=cr.result.report.all_completed,
             dispatches=cr.result.report.dispatches,
         )
-        for cr in run_grid(cells, scale, jobs=jobs, audit=audit)
+        for cr in run_grid(cells, scale, jobs=jobs, audit=audit,
+                           model_cache=model_cache)
     ]
 
 
 def main(scale: ExperimentScale = QUICK, *, jobs: int = 0,
-         audit: bool = False) -> str:
-    rows = run_fig6(scale, jobs=jobs, audit=audit)
+         audit: bool = False, model_cache=None) -> str:
+    rows = run_fig6(scale, jobs=jobs, audit=audit,
+                    model_cache=model_cache)
     table = format_table(
         "Fig. 6 - Frequency of Dispatches",
         ["trace", "policy", "requests", "dispatches", "disp/req"],

@@ -38,6 +38,7 @@ def run_fig7(
     *,
     jobs: int = 0,
     audit: bool = False,
+    model_cache=None,
 ) -> list[Fig7Row]:
     """Regenerate the Fig. 7 series (per-trace policy throughput)."""
     cells = [Cell(workload=w, policy=p) for w in workloads for p in POLICIES]
@@ -49,7 +50,8 @@ def run_fig7(
             mean_response_ms=cr.result.mean_response_s * 1e3,
             hit_rate=cr.result.hit_rate,
         )
-        for cr in run_grid(cells, scale, jobs=jobs, audit=audit)
+        for cr in run_grid(cells, scale, jobs=jobs, audit=audit,
+                           model_cache=model_cache)
     ]
 
 
@@ -60,6 +62,7 @@ def run_fig7_backend_sweep(
     *,
     jobs: int = 0,
     audit: bool = False,
+    model_cache=None,
 ) -> dict[int, dict[str, float]]:
     """The paper's 6–16 backend consistency check (one workload)."""
     cells = [
@@ -67,16 +70,18 @@ def run_fig7_backend_sweep(
         for n in backend_counts for p in POLICIES
     ]
     out: dict[int, dict[str, float]] = {}
-    for cr in run_grid(cells, scale, jobs=jobs, audit=audit):
+    for cr in run_grid(cells, scale, jobs=jobs, audit=audit,
+                       model_cache=model_cache):
         out.setdefault(cr.result.n_backends, {})[cr.cell.policy] = (
             cr.result.throughput_rps)
     return out
 
 
 def main(scale: ExperimentScale = QUICK, *, jobs: int = 0,
-         audit: bool = False) -> str:
+         audit: bool = False, model_cache=None) -> str:
     from .charts import grouped_bar_chart
-    rows = run_fig7(scale, jobs=jobs, audit=audit)
+    rows = run_fig7(scale, jobs=jobs, audit=audit,
+                    model_cache=model_cache)
     table = format_table(
         "Fig. 7 - Throughput Comparison "
         f"({scale.n_backends} backends, {scale.cache_fraction:.0%} of site "

@@ -40,6 +40,7 @@ def run_fig8(
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     jobs: int = 0,
     audit: bool = False,
+    model_cache=None,
 ) -> list[Fig8Row]:
     """Regenerate the Fig. 8 series (memory sweep).
 
@@ -58,14 +59,16 @@ def run_fig8(
             throughput_rps=cr.result.throughput_rps,
             hit_rate=cr.result.hit_rate,
         )
-        for cr in run_grid(cells, scale, jobs=jobs, audit=audit)
+        for cr in run_grid(cells, scale, jobs=jobs, audit=audit,
+                           model_cache=model_cache)
     ]
 
 
 def main(scale: ExperimentScale = QUICK, *, jobs: int = 0,
-         audit: bool = False) -> str:
+         audit: bool = False, model_cache=None) -> str:
     from .charts import sparkline
-    rows = run_fig8(scale, jobs=jobs, audit=audit)
+    rows = run_fig8(scale, jobs=jobs, audit=audit,
+                    model_cache=model_cache)
     table = format_table(
         "Fig. 8 - Throughput varying data amount in memory (cs-department)",
         ["memory", "policy", "thr (rps)", "hit"],

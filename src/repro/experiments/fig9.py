@@ -47,6 +47,7 @@ def run_fig9(
     workload_name: str = "cs-department",
     jobs: int = 0,
     audit: bool = False,
+    model_cache=None,
 ) -> list[Fig9Row]:
     """Regenerate the Fig. 9 ablation series.
 
@@ -63,13 +64,15 @@ def run_fig9(
             hit_rate=cr.result.hit_rate,
             prefetches=cr.result.report.prefetches_issued,
         )
-        for cr in run_grid(cells, scale, jobs=jobs, audit=audit)
+        for cr in run_grid(cells, scale, jobs=jobs, audit=audit,
+                           model_cache=model_cache)
     ]
 
 
 def main(scale: ExperimentScale = QUICK, *, jobs: int = 0,
-         audit: bool = False) -> str:
-    rows = run_fig9(scale, jobs=jobs, audit=audit)
+         audit: bool = False, model_cache=None) -> str:
+    rows = run_fig9(scale, jobs=jobs, audit=audit,
+                    model_cache=model_cache)
     table = format_table(
         "Fig. 9 - Throughput of Individual Enhancements (cs-department)",
         ["policy", "thr (rps)", "resp (ms)", "hit", "prefetches"],

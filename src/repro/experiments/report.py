@@ -24,6 +24,7 @@ def run_all(
     csv_dir: Path | str | None = None,
     jobs: int = 0,
     audit: bool = False,
+    model_cache=None,
 ) -> str:
     """Run Table 1 + Figs. 6–9; returns the combined report text.
 
@@ -33,6 +34,9 @@ def run_all(
     (``0`` = serial) without changing any number in the report.
     ``audit`` attaches the strict simulation auditor to every run —
     also without changing any number (the hook is pure observation).
+    ``model_cache`` (a directory path or
+    :class:`~repro.mining.modelcache.ModelCache`) persists the mining
+    pass across invocations — again without changing any number.
     """
     sections: list[str] = []
     t0 = time.time()
@@ -44,13 +48,15 @@ def run_all(
     for module in (fig6, fig7, fig8, fig9):
         start = time.time()
         if csv_dir is not None:
-            rows = runners[module](scale, jobs=jobs, audit=audit)
+            rows = runners[module](scale, jobs=jobs, audit=audit,
+                                   model_cache=model_cache)
             name = module.__name__.rsplit(".", 1)[-1]
             path = write_rows(rows, Path(csv_dir) / f"{name}.csv")
             sections.append(f"[wrote {path}]")
             print(f"[wrote {path}]")
         else:
-            sections.append(module.main(scale, jobs=jobs, audit=audit))
+            sections.append(module.main(scale, jobs=jobs, audit=audit,
+                                        model_cache=model_cache))
         timing = f"[{module.__name__} took {time.time() - start:.1f} s]"
         print(timing)
         sections.append(timing)
@@ -72,7 +78,11 @@ def main(argv: list[str] | None = None) -> None:
     jobs = 0
     if "--jobs" in argv:
         jobs = int(argv[argv.index("--jobs") + 1])
-    run_all(scale, csv_dir=csv_dir, jobs=jobs, audit="--audit" in argv)
+    model_cache = None
+    if "--model-cache" in argv:
+        model_cache = argv[argv.index("--model-cache") + 1]
+    run_all(scale, csv_dir=csv_dir, jobs=jobs, audit="--audit" in argv,
+            model_cache=model_cache)
 
 
 if __name__ == "__main__":  # pragma: no cover

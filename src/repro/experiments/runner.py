@@ -34,10 +34,10 @@ from ..core.config import SimulationParams
 from ..core.system import (
     MINING_POLICY_NAMES,
     MinedModels,
-    mine_models,
     run_policy,
 )
 from ..logs.workloads import Workload
+from ..mining.modelcache import ModelCache, cached_mine_models
 from ..sim.cluster import SimulationResult
 from .common import ExperimentScale, loaded_workload
 
@@ -150,6 +150,7 @@ def _build_context(
     workloads: Mapping[str, Workload] | None,
     audit: bool = False,
     telemetry: bool = False,
+    model_cache: ModelCache | str | None = None,
 ) -> _GridContext:
     """Generate workloads and mine models — once per distinct key."""
     mining_params = params or SimulationParams(n_backends=scale.n_backends)
@@ -173,7 +174,8 @@ def _build_context(
         else:
             workload = loaded_workload(cell.workload, scale,
                                        seed_offset=cell.seed_offset)
-        models = (mine_models(workload, mining_params)
+        models = (cached_mine_models(workload, mining_params,
+                                     cache=model_cache)
                   if key in needs_mining else None)
         entries[key] = (workload, models)
     return _GridContext(scale=scale, base_params=params, entries=entries,
@@ -196,6 +198,7 @@ def run_grid(
     workloads: Mapping[str, Workload] | None = None,
     audit: bool = False,
     telemetry: bool = False,
+    model_cache: ModelCache | str | None = None,
 ) -> list[CellResult]:
     """Execute a grid of cells; results come back in cell order.
 
@@ -230,12 +233,18 @@ def run_grid(
         a picklable :class:`~repro.obs.telemetry.TelemetrySummary`.
         Pure observation like the auditor, so reports stay bit-identical
         and serial/parallel telemetry agree on their deterministic view.
+    model_cache:
+        A :class:`~repro.mining.modelcache.ModelCache` (or directory
+        path) that persists the per-workload mining pass across
+        processes: a rerun of an unchanged grid loads the mined models
+        from disk instead of re-mining.  Results are bit-identical with
+        and without the cache.
     """
     cells = list(cells)
     if not cells:
         return []
     ctx = _build_context(cells, scale, params, workloads, audit=audit,
-                         telemetry=telemetry)
+                         telemetry=telemetry, model_cache=model_cache)
     jobs = resolve_jobs(jobs)
     if jobs >= 2 and len(cells) >= 2:
         n_workers = min(jobs, len(cells))

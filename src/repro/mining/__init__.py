@@ -6,6 +6,7 @@ from .bundles import BundleMiner, BundleTable
 from .categorize import Categorization, CategoryProfile, UserCategorizer
 from .depgraph import DependencyGraph, Prediction
 from .evaluation import NextPagePredictor, PredictorReport, evaluate_predictor
+from .modelcache import ModelCache, cached_mine_models, mining_fingerprint
 from .popularity import PopularityTracker, RankTable
 from .ppm import PPMPredictor
 from .prefetch import PrefetchDecision, PrefetchPredictor, PrefetchStats
@@ -19,6 +20,7 @@ __all__ = [
     "Categorization", "CategoryProfile", "UserCategorizer",
     "DependencyGraph", "Prediction",
     "NextPagePredictor", "PredictorReport", "evaluate_predictor",
+    "ModelCache", "cached_mine_models", "mining_fingerprint",
     "PopularityTracker", "RankTable",
     "PPMPredictor",
     "PrefetchDecision", "PrefetchPredictor", "PrefetchStats",

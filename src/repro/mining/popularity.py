@@ -14,6 +14,8 @@ import math
 from collections import Counter
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from ..logs.records import LogRecord
 
 __all__ = ["RankTable", "PopularityTracker"]
@@ -86,6 +88,14 @@ class PopularityTracker:
     dynamic log mining of Algorithm 3.  The offline :class:`RankTable`
     seeds the counts (scaled by ``prior_weight``) so the tracker is
     useful from the first request.
+
+    Scores live in a dense float64 array (paths map to slots through
+    ``_index``, in first-seen order) so the per-record decay sweep is a
+    single vectorised multiply instead of a Python-level dict walk —
+    this is the replication engine's hot path.  Scalar multiplication of
+    a float64 array is a per-element IEEE-754 round-to-nearest multiply,
+    the same operation the scalar loop performed, so scores stay
+    bit-identical to the dict implementation.
     """
 
     def __init__(
@@ -99,51 +109,75 @@ class PopularityTracker:
             raise ValueError("half_life must be positive")
         self.half_life = half_life
         self._lambda = math.log(2.0) / half_life
-        self._scores: dict[str, float] = {}
+        #: path -> slot in ``_arr``, insertion-ordered
+        self._index: dict[str, int] = {}
+        self._arr = np.zeros(64, dtype=np.float64)
         self._last_update: float = 0.0
         if prior is not None and len(prior) > 0:
             top_count = prior.top(1)[0][1]
             for path, count in prior.items():
-                self._scores[path] = prior_weight * count / top_count
+                idx = self._slot(path)
+                self._arr[idx] = prior_weight * count / top_count
+
+    def _slot(self, path: str) -> int:
+        """Assign ``path`` the next free slot, growing the array."""
+        idx = len(self._index)
+        arr = self._arr
+        if idx >= arr.shape[0]:
+            grown = np.zeros(arr.shape[0] * 2, dtype=np.float64)
+            grown[:idx] = arr
+            self._arr = grown
+        self._index[path] = idx
+        return idx
 
     def _decay_to(self, now: float) -> None:
         if now < self._last_update:
             raise ValueError("time must not run backwards")
         dt = now - self._last_update
-        if dt > 0 and self._scores:
-            factor = math.exp(-self._lambda * dt)
-            for path in self._scores:
-                self._scores[path] *= factor
+        n = len(self._index)
+        if dt > 0 and n:
+            self._arr[:n] *= math.exp(-self._lambda * dt)
         self._last_update = now
 
     def __len__(self) -> int:
-        return len(self._scores)
+        return len(self._index)
 
     def record(self, path: str, now: float) -> None:
         """Register one hit on ``path`` at simulation time ``now``."""
         self._decay_to(now)
-        self._scores[path] = self._scores.get(path, 0.0) + 1.0
+        idx = self._index.get(path)
+        if idx is None:
+            idx = self._slot(path)
+        self._arr[idx] += 1.0
 
     def rank(self, path: str) -> float:
         """Normalised popularity in [0, 1] at the last update time."""
-        if not self._scores:
+        n = len(self._index)
+        if not n:
             return 0.0
-        peak = max(self._scores.values())
+        peak = float(self._arr[:n].max())
         if peak <= 0:
             return 0.0
-        return self._scores.get(path, 0.0) / peak
+        idx = self._index.get(path)
+        if idx is None:
+            return 0.0
+        return float(self._arr[idx]) / peak
 
     def snapshot(self) -> RankTable:
         """Freeze current scores into a :class:`RankTable` (scaled ints)."""
-        if not self._scores:
+        n = len(self._index)
+        if not n:
             return RankTable({})
-        scale = 1_000_000 / max(self._scores.values())
+        arr = self._arr
+        scale = 1_000_000 / float(arr[:n].max())
         return RankTable({
-            p: max(1, int(s * scale)) for p, s in self._scores.items()
-            if s > 0
+            p: max(1, int(arr[i] * scale)) for p, i in self._index.items()
+            if arr[i] > 0
         })
 
     def top(self, n: int) -> list[tuple[str, float]]:
+        arr = self._arr
         return sorted(
-            self._scores.items(), key=lambda kv: (-kv[1], kv[0])
+            ((p, float(arr[i])) for p, i in self._index.items()),
+            key=lambda kv: (-kv[1], kv[0]),
         )[:n]

@@ -15,11 +15,20 @@ Models the paper's Fig. 5 pipeline.  Each request pays, in order:
 The trace is replayed open-loop at its recorded timestamps (the paper's
 simulator is trace-driven); compress a trace with ``Trace.scaled`` to
 raise offered load.
+
+Arrivals stream into the calendar through a bounded lookahead window
+(:class:`_ArrivalPump`) rather than being materialised up front, so the
+calendar's footprint is O(window + in-flight), not O(trace).  The pump
+pushes each arrival with a sequence number pre-reserved from the block
+an eager scheduler would have used, which makes the event order — and
+therefore every result — bit-identical to eager scheduling; the
+property tests replay random traces under both modes to prove it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from collections import Counter, deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Protocol, runtime_checkable
 
 from ..core.config import SimulationParams
@@ -37,7 +46,119 @@ from .tracing import RequestTracer
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..obs.telemetry import Telemetry, TelemetrySummary
 
-__all__ = ["Replicator", "SimulationResult", "ClusterSimulator"]
+__all__ = [
+    "Replicator",
+    "SimulationResult",
+    "ClusterSimulator",
+    "DEFAULT_ARRIVAL_WINDOW",
+]
+
+#: Default lookahead window of the streaming arrival pump: how many
+#: trace arrivals are kept in the event calendar at once.  Large enough
+#: that pump bookkeeping is noise, small enough that calendar memory no
+#: longer scales with trace length.
+DEFAULT_ARRIVAL_WINDOW = 4096
+
+
+class _ArrivalPump:
+    """Streams trace arrivals into the calendar, ``window`` at a time.
+
+    Eager scheduling pushed all N arrivals (plus N closures) before the
+    first event fired.  The pump keeps at most ``window`` arrivals in
+    the calendar: when one fires, the next undispatched arrival is
+    pushed.  Two invariants make this bit-identical to eager mode:
+
+    * every arrival carries the sequence number it would have received
+      from an eager up-front schedule (a block reserved via
+      :meth:`Simulator.reserve_sequences`), so ``(time, seq)`` keys —
+      and hence fire order — are unchanged;
+    * arrival ``i + window`` is pushed when arrival ``i`` fires, and
+      traces are time-sorted, so every arrival is in the calendar
+      before its due time and the calendar cannot drain early.
+
+    The pump is one object and one bound method for the whole trace —
+    arrivals are recreated relative to trace start lazily, and the
+    pending window rides a deque (fired in trace order by construction).
+    """
+
+    __slots__ = ("cluster", "requests", "base_seq", "next_index", "pending")
+
+    def __init__(
+        self,
+        cluster: "ClusterSimulator",
+        trace: Trace,
+        base_seq: int,
+        window: int,
+    ) -> None:
+        self.cluster = cluster
+        self.requests = trace.requests
+        self.base_seq = base_seq
+        self.next_index = 0
+        self.pending: deque[Request] = deque()
+        for _ in range(min(window, len(self.requests))):
+            self._push_next()
+
+    def _push_next(self) -> None:
+        i = self.next_index
+        self.next_index = i + 1
+        req = self.requests[i]
+        t0 = self.cluster._t0
+        if t0 != 0.0:
+            # Rebase to trace start.  Direct construction, not
+            # dataclasses.replace(): same values, none of the
+            # field-introspection overhead.
+            req = Request(req.arrival - t0, req.conn_id, req.path,
+                          req.size, req.is_embedded, req.parent,
+                          req.client, req.dynamic)
+        self.pending.append(req)
+        self.cluster.sim.schedule_at_reserved(
+            req.arrival, self.base_seq + i, self._fire)
+
+    def _fire(self) -> None:
+        if self.next_index < len(self.requests):
+            self._push_next()
+        self.cluster._on_arrival(self.pending.popleft())
+
+
+class _RequestFlow:
+    """Front-end → backend journey of one request (slotted record).
+
+    Replaces the per-request ``deliver``/``after_frontend``/completion
+    closures: the calendar holds bound methods of this record, and the
+    injection-mode completion callback rides the record itself — keyed
+    by identity of the in-flight request, not by ``id(req)`` (object
+    ids can be reused once a request is garbage-collected mid-run).
+    """
+
+    __slots__ = ("cluster", "req", "server", "latency", "on_complete")
+
+    def __init__(
+        self,
+        cluster: "ClusterSimulator",
+        req: Request,
+        server: "BackendServer",
+        latency: float,
+        on_complete,
+    ) -> None:
+        self.cluster = cluster
+        self.req = req
+        self.server = server
+        self.latency = latency
+        self.on_complete = on_complete
+
+    def after_frontend(self) -> None:
+        if self.latency > 0:
+            self.cluster.sim.schedule(self.latency, self.deliver)
+        else:
+            self.deliver()
+
+    def deliver(self) -> None:
+        req = self.req
+        self.server.handle(req.path, req.size, self.done,
+                           dynamic=req.dynamic)
+
+    def done(self, server_id: int, hit: bool) -> None:
+        self.cluster._on_done(self.req, server_id, hit, self.on_complete)
 
 
 @runtime_checkable
@@ -108,6 +229,12 @@ class ClusterSimulator:
         Leading fraction of the trace excluded from the report's
         response/throughput/hit statistics (cold-cache compulsory misses
         are not what the paper's steady-state figures show).
+    arrival_window:
+        Lookahead window of the streaming arrival pump — how many trace
+        arrivals sit in the event calendar at once.  ``None`` uses
+        :data:`DEFAULT_ARRIVAL_WINDOW`; ``0`` schedules the whole trace
+        eagerly (the legacy mode, kept for the differential property
+        tests).  Results are bit-identical across all values.
     """
 
     def __init__(
@@ -125,11 +252,17 @@ class ClusterSimulator:
         future_weights: Mapping[str, float] | None = None,
         auditor: "SimulationAuditor | None" = None,
         telemetry: "Telemetry | None" = None,
+        arrival_window: int | None = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if window_s is not None and window_s <= 0:
             raise ValueError("window_s must be positive")
+        if arrival_window is None:
+            arrival_window = DEFAULT_ARRIVAL_WINDOW
+        elif arrival_window < 0:
+            raise ValueError("arrival_window must be >= 0")
+        self.arrival_window = arrival_window
         if trace is not None and len(trace) == 0:
             raise ValueError("trace is empty")
         if trace is None:
@@ -177,16 +310,14 @@ class ClusterSimulator:
         self.power = PowerManager(self.sim, self.params, self.servers)
         self.replicator = replicator
         self._connections: dict[int, ConnectionState] = {}
-        self._remaining_per_conn: dict[int, int] = {}
+        #: per-connection requests not yet completed (Counter: the
+        #: per-request pre-pass counts at C speed)
+        self._remaining_per_conn: Counter[int] = Counter()
         #: injection mode: connections close only on close_connection()
         self._explicit_close = trace is None
         self._closing: set[int] = set()
-        self._inject_callbacks: dict[int, object] = {}
         if trace is not None:
-            for r in trace:
-                self._remaining_per_conn[r.conn_id] = (
-                    self._remaining_per_conn.get(r.conn_id, 0) + 1
-                )
+            self._remaining_per_conn.update(r.conn_id for r in trace)
             self._t0 = trace[0].arrival
         else:
             self._t0 = 0.0
@@ -229,9 +360,13 @@ class ClusterSimulator:
         if self._ran:
             raise RuntimeError("a ClusterSimulator instance runs once")
         self._ran = True
-        for req in self.trace:
-            rel = replace(req, arrival=req.arrival - self._t0)
-            self.sim.schedule_at(rel.arrival, self._make_arrival(rel))
+        trace = self.trace
+        # Reserve the sequence block an eager schedule would have used,
+        # then stream arrivals through the bounded lookahead window
+        # (window 0 = eager: the pump simply preloads the whole trace).
+        base_seq = self.sim.reserve_sequences(len(trace))
+        window = self.arrival_window or len(trace)
+        self._arrival_pump = _ArrivalPump(self, trace, base_seq, window)
         if self.replicator is not None:
             self.replicator.start()
         self.sim.run()
@@ -247,12 +382,11 @@ class ClusterSimulator:
         ``on_complete(server_id, hit)`` fires when the response is done —
         closed-loop drivers use it to pace the next request.
         """
-        self._remaining_per_conn[req.conn_id] = (
-            self._remaining_per_conn.get(req.conn_id, 0) + 1
-        )
-        if on_complete is not None:
-            self._inject_callbacks[id(req)] = on_complete
-        self._on_arrival(req)
+        self._remaining_per_conn[req.conn_id] += 1
+        # The callback travels with this injection's request flow (one
+        # record per in-flight request), so injecting the same Request
+        # object twice — or an id()-recycled one — cannot cross wires.
+        self._on_arrival(req, on_complete)
 
     def close_connection(self, conn_id: int) -> None:
         """Declare a connection finished (injection mode).
@@ -271,11 +405,6 @@ class ClusterSimulator:
         """Assemble the result (injection mode, after the run drains)."""
         return self._result()
 
-    def _make_arrival(self, req: Request):
-        def arrival() -> None:
-            self._on_arrival(req)
-        return arrival
-
     def _conn_state(self, conn_id: int) -> ConnectionState:
         state = self._connections.get(conn_id)
         if state is None:
@@ -283,7 +412,7 @@ class ClusterSimulator:
             self._connections[conn_id] = state
         return state
 
-    def _on_arrival(self, req: Request) -> None:
+    def _on_arrival(self, req: Request, on_complete=None) -> None:
         if self.replicator is not None:
             self.replicator.observe(req.path, self.sim.now)
         if self.tracer is not None:
@@ -338,17 +467,7 @@ class ClusterSimulator:
             conn.last_page = req.path
 
         server = self.servers[decision.server_id]
-
-        def deliver() -> None:
-            server.handle(req.path, req.size,
-                          lambda sid, hit: self._on_done(req, sid, hit),
-                          dynamic=req.dynamic)
-
-        def after_frontend() -> None:
-            if latency > 0:
-                self.sim.schedule(latency, deliver)
-            else:
-                deliver()
+        flow = _RequestFlow(self, req, server, latency, on_complete)
 
         if self.tracer is not None:
             self.tracer.emit(
@@ -358,10 +477,11 @@ class ClusterSimulator:
                 prefetches=len(decision.prefetches),
             )
         frontend = self.frontends[req.conn_id % len(self.frontends)]
-        frontend.submit(service, after_frontend)
+        frontend.submit(service, flow.after_frontend)
         self._issue_prefetches(decision)
 
-    def _on_done(self, req: Request, server_id: int, hit: bool) -> None:
+    def _on_done(self, req: Request, server_id: int, hit: bool,
+                 on_complete=None) -> None:
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, "complete", req.conn_id, req.path,
                              server=server_id, hit=hit,
@@ -372,9 +492,8 @@ class ClusterSimulator:
         if self.telemetry is not None:
             self.telemetry.note_completion(req, server_id, hit)
         self.policy.on_complete(req, server_id, hit)
-        callback = self._inject_callbacks.pop(id(req), None)
-        if callback is not None:
-            callback(server_id, hit)
+        if on_complete is not None:
+            on_complete(server_id, hit)
         left = self._remaining_per_conn[req.conn_id] - 1
         self._remaining_per_conn[req.conn_id] = left
         if left == 0 and (not self._explicit_close

@@ -8,6 +8,11 @@ delays demand reads, and replicas arrive via
 :meth:`BackendServer.receive_replica`.  The server's ``load`` —
 in-flight demand requests — is the balancing metric LARD-family
 policies compare against their T_low/T_high thresholds.
+
+Each in-flight request is one slotted :class:`_DemandJob` event record;
+its stage transitions are bound methods handed to the engine, replacing
+the six nested closures the demand path used to allocate per request
+(closure-free dispatch — same event order, far less allocator traffic).
 """
 
 from __future__ import annotations
@@ -19,6 +24,138 @@ from ..core.config import SimulationParams
 from .engine import PRIORITY_PREFETCH, Resource, Simulator
 
 __all__ = ["BackendServer"]
+
+
+class _DemandJob:
+    """One demand request's journey through a backend (slotted record).
+
+    The stage methods mirror the paper's service pipeline: admission →
+    CPU → cache/disk → transmit → finish.  All mutable per-request
+    state (which branch the cache lookup took) lives on the record, so
+    the engine's calendar holds bound methods instead of closures.
+    """
+
+    __slots__ = ("server", "path", "size", "done", "dynamic", "hit")
+
+    def __init__(
+        self,
+        server: "BackendServer",
+        path: str,
+        size: int,
+        done: Callable[[int, bool], None],
+        dynamic: bool,
+    ) -> None:
+        self.server = server
+        self.path = path
+        self.size = size
+        self.done = done
+        self.dynamic = dynamic
+        self.hit = False
+
+    def start(self) -> None:
+        # Admission: a request needs a worker slot for its whole
+        # lifetime (including any disk wait).  When all slots are
+        # busy, it queues FCFS — this couples miss latency into hit
+        # latency exactly as a bounded worker pool does.
+        server = self.server
+        if server._workers_busy < server.params.backend_workers:
+            server._workers_busy += 1
+            self.begin()
+        else:
+            server._admission.append(self.begin)
+
+    def begin(self) -> None:
+        server = self.server
+        server.cpu.submit(server.params.backend_cpu_s, self.after_cpu)
+
+    def after_cpu(self) -> None:
+        server = self.server
+        path = self.path
+        if self.dynamic:
+            # Generated content: no cache, no disk — pure CPU.
+            server.cpu.submit(server.params.dynamic_cpu_s,
+                              self.transmit_miss)
+            return
+        if server.cache.access(path):
+            if path in server._prefetched_resident:
+                # Count each prefetched file's first demand hit once.
+                server._prefetched_resident.discard(path)
+                server.prefetch_useful += 1
+                server._guard_useful += 1
+            self.transmit(True)
+        elif path in server._prefetch_inflight:
+            # A prefetch read for this file is already on the disk
+            # queue: coalesce instead of issuing a duplicate read,
+            # and promote the read to demand priority.
+            server.disk.promote(server._prefetch_inflight[path])
+            server._prefetch_waiters.setdefault(path, []).append(
+                self.transmit_miss
+            )
+        elif path in server._demand_inflight:
+            # Another demand read for the same file is in flight.
+            server._demand_inflight[path].append(self.transmit_miss)
+        else:
+            server._demand_inflight[path] = []
+            server.disk.submit(server.params.disk_service_s(self.size),
+                               self.after_disk)
+
+    def after_disk(self) -> None:
+        server = self.server
+        path = self.path
+        server.cache.insert(path, self.size)
+        waiters = server._demand_inflight.pop(path, ())
+        self.transmit(False)
+        for resume in waiters:
+            resume()
+
+    def transmit(self, hit: bool) -> None:
+        # Response transfer costs CPU time (80 us/KB, Table 1).
+        self.hit = hit
+        server = self.server
+        server.cpu.submit(server.params.transmit_s(self.size), self.finish)
+
+    def transmit_miss(self) -> None:
+        """Zero-argument miss-transmit continuation (waiter resume)."""
+        self.transmit(False)
+
+    def finish(self) -> None:
+        server = self.server
+        server.active -= 1
+        server.completed += 1
+        if server._admission:
+            server._admission.popleft()()
+        else:
+            server._workers_busy -= 1
+        self.done(server.server_id, self.hit)
+        if server.active == 0 and server.on_idle is not None:
+            server.on_idle(server)
+
+
+class _PrefetchRead:
+    """One low-priority readahead in flight (slotted record)."""
+
+    __slots__ = ("server", "path", "size")
+
+    def __init__(self, server: "BackendServer", path: str, size: int) -> None:
+        self.server = server
+        self.path = path
+        self.size = size
+
+    def after_disk(self) -> None:
+        server = self.server
+        path = self.path
+        server._prefetch_inflight.pop(path, None)
+        server.cache.insert(path, self.size)
+        waiters = server._prefetch_waiters.pop(path, None)
+        if waiters:
+            # Demand requests piggybacked on this read: the prefetch
+            # did useful work even before a later cache hit.
+            server.prefetch_useful += 1
+            server._guard_useful += 1
+            for resume in waiters:
+                resume()
+        elif server.cache.peek(path):
+            server._prefetched_resident.add(path)
 
 
 class BackendServer:
@@ -128,79 +265,11 @@ class BackendServer:
         extra = 0.0
         if self.start_latency_hook is not None:
             extra = self.start_latency_hook(self)
-
-        def start() -> None:
-            # Admission: a request needs a worker slot for its whole
-            # lifetime (including any disk wait).  When all slots are
-            # busy, it queues FCFS — this couples miss latency into hit
-            # latency exactly as a bounded worker pool does.
-            if self._workers_busy < self.params.backend_workers:
-                self._workers_busy += 1
-                begin()
-            else:
-                self._admission.append(begin)
-
-        def begin() -> None:
-            self.cpu.submit(self.params.backend_cpu_s, after_cpu)
-
-        def after_cpu() -> None:
-            if dynamic:
-                # Generated content: no cache, no disk — pure CPU.
-                self.cpu.submit(self.params.dynamic_cpu_s,
-                                lambda: transmit(False))
-                return
-            hit = self.cache.access(path)
-            if hit:
-                if path in self._prefetched_resident:
-                    # Count each prefetched file's first demand hit once.
-                    self._prefetched_resident.discard(path)
-                    self.prefetch_useful += 1
-                    self._guard_useful += 1
-                transmit(True)
-            elif path in self._prefetch_inflight:
-                # A prefetch read for this file is already on the disk
-                # queue: coalesce instead of issuing a duplicate read,
-                # and promote the read to demand priority.
-                self.disk.promote(self._prefetch_inflight[path])
-                self._prefetch_waiters.setdefault(path, []).append(
-                    lambda: transmit(False)
-                )
-            elif path in self._demand_inflight:
-                # Another demand read for the same file is in flight.
-                self._demand_inflight[path].append(lambda: transmit(False))
-            else:
-                self._demand_inflight[path] = []
-                self.disk.submit(self.params.disk_service_s(size),
-                                 lambda: after_disk())
-
-        def after_disk() -> None:
-            self.cache.insert(path, size)
-            waiters = self._demand_inflight.pop(path, ())
-            transmit(False)
-            for resume in waiters:
-                resume()
-
-        def transmit(hit: bool) -> None:
-            # Response transfer costs CPU time (80 us/KB, Table 1).
-            self.cpu.submit(self.params.transmit_s(size),
-                            lambda: finish(hit))
-
-        def finish(hit: bool) -> None:
-            self.active -= 1
-            self.completed += 1
-            if self._admission:
-                next_start = self._admission.popleft()
-                next_start()
-            else:
-                self._workers_busy -= 1
-            done(self.server_id, hit)
-            if self.active == 0 and self.on_idle is not None:
-                self.on_idle(self)
-
+        job = _DemandJob(self, path, size, done, dynamic)
         if extra > 0:
-            self.sim.schedule(extra, start)
+            self.sim.schedule(extra, job.start)
         else:
-            start()
+            job.start()
 
     # -- proactive paths ----------------------------------------------------------
 
@@ -228,22 +297,9 @@ class BackendServer:
             self._guard_wasted //= 2
             return False
         self.prefetches_issued += 1
-
-        def after_disk() -> None:
-            self._prefetch_inflight.pop(path, None)
-            self.cache.insert(path, size)
-            waiters = self._prefetch_waiters.pop(path, None)
-            if waiters:
-                # Demand requests piggybacked on this read: the prefetch
-                # did useful work even before a later cache hit.
-                self.prefetch_useful += 1
-                self._guard_useful += 1
-                for resume in waiters:
-                    resume()
-            elif self.cache.peek(path):
-                self._prefetched_resident.add(path)
-
-        job = self.disk.submit(self.params.disk_service_s(size), after_disk,
+        read = _PrefetchRead(self, path, size)
+        job = self.disk.submit(self.params.disk_service_s(size),
+                               read.after_disk,
                                priority=PRIORITY_PREFETCH)
         self._prefetch_inflight[path] = job
         return True

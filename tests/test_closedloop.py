@@ -62,6 +62,23 @@ class TestInjectionMode:
         c.close_connection(0)
         assert 0 not in policy._conn_server
 
+    def test_inject_same_request_object_twice(self):
+        # Regression: completion callbacks used to be keyed by id(req),
+        # so injecting the same Request object twice (or an object whose
+        # id was recycled) overwrote the first callback.  Both callbacks
+        # must fire, each exactly once.
+        c = ClusterSimulator(None, WRRPolicy(),
+                             SimulationParams(n_backends=2,
+                                              cache_bytes=1 << 20),
+                             catalog={"/a": 1024}, window_s=1.0)
+        req = Request(arrival=0.0, conn_id=0, path="/a", size=1024)
+        done = []
+        c.inject(req, on_complete=lambda sid, hit: done.append("first"))
+        c.inject(req, on_complete=lambda sid, hit: done.append("second"))
+        c.sim.run()
+        assert sorted(done) == ["first", "second"]
+        assert c.metrics.completed == 2
+
     def test_close_before_completion_defers(self):
         policy = WRRPolicy()
         c = ClusterSimulator(None, policy,

@@ -92,6 +92,74 @@ class TestSimulator:
         sim.run()
         assert seen == [1.0, 2.0]
 
+    def test_events_processed_visible_inside_hook(self):
+        # The telemetry timeline reads events_processed from inside the
+        # hook, so the counter must be updated before the hook fires —
+        # not deferred to the end of the loop.
+        sim = Simulator()
+        counts = []
+        sim.on_event = lambda t: counts.append(sim.events_processed)
+        for i in range(3):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert counts == [1, 2, 3]
+
+    def test_reserved_block_keeps_eager_tie_break_order(self):
+        # Same times, same relative order: events pushed lazily with
+        # reserved sequence numbers must interleave with later
+        # schedule_at() calls exactly as an eager up-front schedule.
+        def eager():
+            sim = Simulator()
+            log = []
+            for i in range(4):
+                sim.schedule_at(1.0, lambda i=i: log.append(f"r{i}"))
+            sim.schedule_at(1.0, lambda: log.append("late"))
+            sim.run()
+            return log
+
+        def reserved():
+            sim = Simulator()
+            log = []
+            base = sim.reserve_sequences(4)
+            # Push the block out of order and *after* the late event —
+            # the reserved numbers alone must restore eager order.
+            sim.schedule_at(1.0, lambda: log.append("late"))
+            for i in (2, 0, 3, 1):
+                sim.schedule_at_reserved(1.0, base + i,
+                                         lambda i=i: log.append(f"r{i}"))
+            sim.run()
+            return log
+
+        assert reserved() == eager() == ["r0", "r1", "r2", "r3", "late"]
+
+    def test_reserve_sequences_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.reserve_sequences(-1)
+        base = sim.reserve_sequences(0)
+        assert sim.reserve_sequences(2) == base
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at_reserved(1.0, base, lambda: None)
+
+    def test_calendar_high_water_tracks_peak(self):
+        sim = Simulator()
+        assert sim.calendar_high_water == 0
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        assert sim.calendar_high_water == 5
+        sim.run()
+        # Draining does not lower the recorded peak.
+        assert sim.calendar_high_water == 5
+        base = sim.reserve_sequences(3)
+        for i in range(3):
+            sim.schedule_at_reserved(sim.now + 1.0, base + i, lambda: None)
+        assert sim.calendar_high_water == 5  # below the previous peak
+        for i in range(6):
+            sim.schedule_at(sim.now + 2.0, lambda: None)
+        assert sim.calendar_high_water == 9
+
 
 class TestResource:
     def test_fifo_service(self):

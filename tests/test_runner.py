@@ -69,9 +69,9 @@ class TestMiningSharing:
 
         def counting_mine(workload, params=None, **kwargs):
             calls.append(workload.name)
-            return mine_models(workload, params, **kwargs)
+            return mine_models(workload, params)
 
-        monkeypatch.setattr(runner_mod, "mine_models", counting_mine)
+        monkeypatch.setattr(runner_mod, "cached_mine_models", counting_mine)
         cells = [
             Cell(workload="synthetic", policy="prord"),
             Cell(workload="synthetic", policy="lard-bundle"),
@@ -84,7 +84,7 @@ class TestMiningSharing:
 
     def test_no_mining_for_locality_only_policies(self, monkeypatch):
         monkeypatch.setattr(
-            runner_mod, "mine_models",
+            runner_mod, "cached_mine_models",
             lambda *a, **k: pytest.fail("mined for a non-mining policy"))
         results = run_grid(
             [Cell(workload="synthetic", policy="wrr"),
@@ -97,9 +97,9 @@ class TestMiningSharing:
 
         def counting_mine(workload, params=None, **kwargs):
             calls.append(workload.name)
-            return mine_models(workload, params, **kwargs)
+            return mine_models(workload, params)
 
-        monkeypatch.setattr(runner_mod, "mine_models", counting_mine)
+        monkeypatch.setattr(runner_mod, "cached_mine_models", counting_mine)
         run_grid(
             [Cell(workload="synthetic", policy="prord"),
              Cell(workload="synthetic", policy="prord", seed_offset=1)],
