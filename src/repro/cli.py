@@ -21,7 +21,7 @@ from pathlib import Path
 
 from .core.config import SimulationParams
 from .core.system import POLICY_NAMES, mine_components, run_policy
-from .logs.clf import read_log, write_log
+from .logs.clf import ParseStats, read_log
 from .logs.records import LogRecord
 from .logs.sessions import page_sequences, sessionize, trace_from_records
 from .logs.workloads import WORKLOAD_PRESETS, Workload, make_workload
@@ -32,10 +32,17 @@ from .mining.popularity import RankTable
 __all__ = ["main", "build_parser"]
 
 
+def _note_drops(stats: ParseStats, path: Path) -> None:
+    if stats.dropped:
+        print(f"note: {path}: {stats.summary()}")
+
+
 def _load_records(path: Path) -> list[LogRecord]:
     from .logs.validate import validate_records
+    stats = ParseStats()
     with path.open() as fp:
-        records = read_log(fp, strict=False)
+        records = read_log(fp, strict=False, stats=stats)
+    _note_drops(stats, path)
     if not records:
         raise SystemExit(f"error: no parsable CLF lines in {path}")
     report = validate_records(records)
@@ -66,30 +73,22 @@ def _workload_from_log(path: Path, train_fraction: float) -> Workload:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
+    from .logs.store import save_workload
     workload = make_workload(args.preset, scale=args.scale)
-    out_dir = Path(args.out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    train_path = out_dir / "training.log"
-    eval_path = out_dir / "access.log"
-    with train_path.open("w") as fp:
-        n_train = write_log(fp, workload.training_records)
-    # Re-emit the evaluation trace as CLF so the other subcommands can
-    # consume it like any real log.
-    eval_records = [
-        LogRecord(host=f"c{r.conn_id}", timestamp=r.arrival, method="GET",
-                  path=r.path, protocol="HTTP/1.1", status=200, size=r.size)
-        for r in workload.trace
-    ]
-    with eval_path.open("w") as fp:
-        n_eval = write_log(fp, eval_records)
+    out_dir = save_workload(workload, args.out_dir)
     print(workload.summary())
-    print(f"wrote {n_train} training lines to {train_path}")
-    print(f"wrote {n_eval} evaluation lines to {eval_path}")
+    print(f"wrote {len(workload.training_records)} training lines to "
+          f"{out_dir / 'training.log'}")
+    print(f"wrote {len(workload.trace)} evaluation lines to "
+          f"{out_dir / 'access.log'} (+ trace.meta.jsonl, site.json)")
     return 0
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
-    records = _load_records(Path(args.logfile))
+    path = Path(args.logfile)
+    if args.stream:
+        return _cmd_mine_stream(args, path)
+    records = _load_records(path)
     sessions = sessionize(records, timeout=args.session_timeout)
     sequences = page_sequences(sessions, min_length=2)
     graph = DependencyGraph(order=args.order).train(sequences)
@@ -103,10 +102,61 @@ def cmd_mine(args: argparse.Namespace) -> int:
           f"{graph.memory_cells()} cells")
     print(f"bundles: {len(bundles)} pages with embedded objects")
     print("\ntop files by hits:")
-    for path, count in ranks.top(args.top):
-        print(f"  {count:8d}  {path}")
+    for path_, count in ranks.top(args.top):
+        print(f"  {count:8d}  {path_}")
     if sequences:
         start = sequences[0][0]
+        edges = graph.edge_confidences(start)
+        if edges:
+            print(f"\nnavigation out of {start!r}:")
+            for page, conf in sorted(edges.items(),
+                                     key=lambda kv: -kv[1])[:args.top]:
+                print(f"  {conf:6.1%}  {page}")
+    return 0
+
+
+def _cmd_mine_stream(args: argparse.Namespace, path: Path) -> int:
+    """One-pass constant-memory variant of ``repro mine``.
+
+    The log is never materialized: records stream off disk through the
+    incremental sessionizer into the fold.  Same models, same report —
+    plus the streaming working-set numbers batch mining cannot give.
+    """
+    from .logs.clf import iter_log
+    from .mining.fold import StreamingModelFold
+
+    fold = StreamingModelFold(
+        SimulationParams(depgraph_order=args.order),
+        timeout=args.session_timeout,
+    )
+    stats = ParseStats()
+    try:
+        fold.add_records(iter_log(path, stats=stats))
+    except ValueError as exc:
+        raise SystemExit(
+            f"error: {path} is not in time order ({exc}); "
+            "sort it or use batch mining (drop --stream)"
+        )
+    _note_drops(stats, path)
+    if fold.records_seen == 0:
+        raise SystemExit(f"error: no parsable CLF lines in {path}")
+    peak_open = fold.peak_open_sessions
+    models = fold.finish()
+    graph, ranks = models.graph, models.rank_table
+    print(f"log: {fold.records_seen} requests, {len(ranks)} distinct files "
+          "(streamed)")
+    print(f"sessions: {models.num_sessions} "
+          f"(peak {peak_open} open; working set, not the trace)")
+    print(f"dependency graph (order {graph.order}): "
+          f"{graph.num_pages} pages, {graph.num_contexts} contexts, "
+          f"{graph.memory_cells()} cells")
+    print(f"bundles: {len(models.bundles)} pages with embedded objects")
+    print("\ntop files by hits:")
+    for path_, count in ranks.top(args.top):
+        print(f"  {count:8d}  {path_}")
+    top = ranks.top(1)
+    if top:
+        start = top[0][0]
         edges = graph.edge_confidences(start)
         if edges:
             print(f"\nnavigation out of {start!r}:")
@@ -145,6 +195,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
     result = run_policy(workload, args.policy, params, cache_fraction=None,
                         audit=args.audit)
+    _print_result(result)
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Run a policy over a saved workload directory.
+
+    Unlike ``simulate`` (which splits one raw CLF file), this consumes a
+    ``repro workload`` / ``save_workload`` directory: the site model and
+    the exact evaluation trace come back from disk, and ``--stream``
+    mines the training log in one constant-memory pass instead of
+    loading it.
+    """
+    from .logs.store import load_workload
+    workload = load_workload(Path(args.workload_dir), stream=args.stream)
+    params = _params_from_args(args)
+    cache_fraction = None if args.cache_mb is not None else args.cache_fraction
+    result = run_policy(workload, args.policy, params,
+                        cache_fraction=cache_fraction, audit=args.audit)
+    if args.stream:
+        stats = workload.training_records.stats
+        if stats.dropped:
+            print(f"note: training.log: {stats.summary()}")
     _print_result(result)
     return 0
 
@@ -370,6 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="session gap in seconds (default 1800)")
     p.add_argument("--top", type=int, default=10,
                    help="rows in the top-N listings")
+    p.add_argument("--stream", action="store_true",
+                   help="one-pass constant-memory mining (log must be in "
+                        "time order; same models as batch)")
     p.set_defaults(func=cmd_mine)
 
     def add_audit_option(p):
@@ -391,6 +467,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=POLICY_NAMES, default="prord")
     add_sim_options(p)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("replay",
+                       help="run a policy over a saved workload directory")
+    p.add_argument("workload_dir",
+                   help="directory from 'repro workload' (site.json + "
+                        "training.log + access.log)")
+    p.add_argument("--policy", choices=POLICY_NAMES, default="prord")
+    p.add_argument("--stream", action="store_true",
+                   help="mine the training log in one constant-memory "
+                        "pass (results are identical either way)")
+    p.add_argument("--backends", type=int, default=8)
+    p.add_argument("--cache-mb", type=float, default=None,
+                   help="per-server cache in MB (overrides "
+                        "--cache-fraction)")
+    p.add_argument("--cache-fraction", type=float, default=0.3,
+                   help="aggregate cluster cache as a fraction of the "
+                        "site's bytes (default 0.3, Fig. 7)")
+    add_audit_option(p)
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("compare", help="run several policies over one log")
     p.add_argument("logfile")

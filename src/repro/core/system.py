@@ -154,8 +154,21 @@ def mine_models(
     ``profiler`` (optional) records the wall-clock of each mining stage
     under ``mine.*`` phases — sessionize, depgraph, bundles, categorize,
     popularity.
+
+    When the workload's training records are a
+    :class:`~repro.logs.clf.RecordStream` (e.g. a ``CLFSource`` from
+    ``load_workload(..., stream=True)``), mining runs through the
+    one-pass constant-memory fold instead of materializing sessions;
+    the result is field-for-field identical either way.
     """
     params = params or SimulationParams()
+    from ..logs.clf import RecordStream
+    if isinstance(workload.training_records, RecordStream):
+        from ..mining.fold import mine_models_stream
+        return mine_models_stream(
+            workload.training_records, params,
+            predictor_kind=predictor_kind, profiler=profiler,
+        )
 
     def timed(name: str):
         return profiler.phase(name) if profiler is not None else nullcontext()

@@ -1,10 +1,23 @@
 """Web-log substrate: records, CLF parsing, sessions, sites, workloads."""
 
-from .clf import CLFParseError, format_line, parse_line, parse_lines, read_log, write_log
+from .clf import (
+    CLFParseError,
+    CLFSource,
+    ParseStats,
+    RecordStream,
+    format_line,
+    iter_log,
+    parse_line,
+    parse_lines,
+    read_log,
+    write_log,
+)
 from .records import LogRecord, Request, Trace
 from .sessions import (
     DEFAULT_SESSION_TIMEOUT,
     Session,
+    StreamSessionizer,
+    iter_sessions,
     looks_dynamic,
     looks_embedded,
     page_sequences,
@@ -28,14 +41,17 @@ from .workloads import (
     cs_department_workload,
     make_workload,
     synthetic_workload,
+    training_log_records,
     worldcup_workload,
 )
 
 __all__ = [
-    "CLFParseError", "format_line", "parse_line", "parse_lines",
+    "CLFParseError", "CLFSource", "ParseStats", "RecordStream",
+    "format_line", "iter_log", "parse_line", "parse_lines",
     "read_log", "write_log",
     "LogRecord", "Request", "Trace",
-    "DEFAULT_SESSION_TIMEOUT", "Session", "looks_dynamic", "looks_embedded",
+    "DEFAULT_SESSION_TIMEOUT", "Session", "StreamSessionizer",
+    "iter_sessions", "looks_dynamic", "looks_embedded",
     "page_sequences", "sessionize", "trace_from_records",
     "Category", "EmbeddedObject", "Page", "SiteSpec", "Website", "build_site",
     "load_site", "load_workload", "save_site", "save_workload",
@@ -43,5 +59,6 @@ __all__ = [
     "TraceGenerator", "TrafficSpec",
     "Finding", "ValidationReport", "validate_records", "validate_trace",
     "WORKLOAD_PRESETS", "Workload", "cs_department_workload",
-    "make_workload", "synthetic_workload", "worldcup_workload",
+    "make_workload", "synthetic_workload", "training_log_records",
+    "worldcup_workload",
 ]

@@ -9,23 +9,46 @@ plain CLF::
 and the combined format's referer/user-agent extensions (two extra
 quoted fields), which the sessionizer and categorizer can exploit when
 present.
+
+Three properties the rest of the pipeline depends on:
+
+* **lossless round-trip** — ``parse_line(format_line(r))`` recovers every
+  field (whole-second timestamps aside).  Quoted fields are
+  backslash-escaped on write, Apache-style, so a referer or user-agent
+  containing ``"`` or ``\\`` cannot corrupt the emitted line, and the
+  empty string / literal ``-`` survive the trip;
+* **observable loss** — lenient parsing (``strict=False``) never drops a
+  malformed line silently: every call can account for dropped lines via
+  :class:`ParseStats` or an ``on_drop`` callback;
+* **constant memory** — :func:`iter_log` / :class:`CLFSource` stream a
+  log file record by record (gzip-aware), never materializing it, which
+  is what lets the sessionizer and the miners run one-pass on
+  WorldCup'98-class traces.
 """
 
 from __future__ import annotations
 
 import calendar
+import gzip
 import re
-from typing import Iterable, Iterator, TextIO
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, TextIO
 
 from .records import LogRecord
 
 __all__ = [
     "CLFParseError",
+    "ParseStats",
     "parse_line",
     "format_line",
     "parse_lines",
     "read_log",
     "write_log",
+    "iter_log",
+    "RecordStream",
+    "CLFSource",
 ]
 
 _MONTHS = {
@@ -34,14 +57,17 @@ _MONTHS = {
 }
 _MONTH_NAMES = {v: k for k, v in _MONTHS.items()}
 
+# Quoted fields (referer / user-agent) allow backslash escapes so an
+# embedded '"' cannot terminate the field early.
+_QUOTED = r'(?:[^"\\]|\\.)*'
 _CLF_RE = re.compile(
     r'^(?P<host>\S+)\s+(?P<ident>\S+)\s+(?P<authuser>\S+)\s+'
     r'\[(?P<day>\d{2})/(?P<mon>[A-Z][a-z]{2})/(?P<year>\d{4}):'
     r'(?P<hh>\d{2}):(?P<mm>\d{2}):(?P<ss>\d{2})\s+(?P<zone>[+-]\d{4})\]\s+'
     r'"(?P<method>\S+)\s+(?P<path>\S+)(?:\s+(?P<proto>[^"]+))?"\s+'
     r'(?P<status>\d{3})\s+(?P<size>\d+|-)'
-    r'(?:\s+"(?P<referer>[^"]*)")?'
-    r'(?:\s+"(?P<agent>[^"]*)")?'
+    rf'(?:\s+"(?P<referer>{_QUOTED})")?'
+    rf'(?:\s+"(?P<agent>{_QUOTED})")?'
 )
 
 
@@ -53,11 +79,100 @@ class CLFParseError(ValueError):
         self.line = line
 
 
+@dataclass(slots=True)
+class ParseStats:
+    """Malformed-line accounting for one lenient parsing pass.
+
+    ``strict=False`` parsing used to discard garbage lines invisibly;
+    every drop is now counted here (and a bounded sample of the dropped
+    lines kept for diagnosis), so real-log ingestion loss is observable.
+    """
+
+    #: Non-blank lines seen (parsed + dropped).
+    total: int = 0
+    #: Lines successfully parsed into records.
+    parsed: int = 0
+    #: Blank/whitespace-only lines skipped (not counted as loss).
+    blank: int = 0
+    #: Malformed lines discarded by lenient parsing.
+    dropped: int = 0
+    #: First few dropped lines, verbatim, for diagnosis.
+    samples: list[str] = field(default_factory=list)
+
+    MAX_SAMPLES = 5
+
+    def record_drop(self, line: str) -> None:
+        self.dropped += 1
+        if len(self.samples) < self.MAX_SAMPLES:
+            self.samples.append(line.rstrip("\n"))
+
+    @property
+    def drop_fraction(self) -> float:
+        """Dropped share of non-blank lines (0.0 for a clean log)."""
+        return self.dropped / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        self.total = self.parsed = self.blank = self.dropped = 0
+        self.samples.clear()
+
+    def summary(self) -> str:
+        if not self.dropped:
+            return f"{self.parsed} lines parsed, 0 dropped"
+        head = (
+            f"{self.parsed} lines parsed, {self.dropped} malformed "
+            f"line(s) dropped ({self.drop_fraction:.2%})"
+        )
+        if self.samples:
+            head += f"; first: {self.samples[0]!r}"
+        return head
+
+
 def _zone_offset_seconds(zone: str) -> int:
     sign = 1 if zone[0] == "+" else -1
     hours = int(zone[1:3])
     minutes = int(zone[3:5])
     return sign * (hours * 3600 + minutes * 60)
+
+
+#: Escapes applied to quoted fields on write (Apache's mod_log_config
+#: convention, plus "\-" so a literal "-" is distinguishable from the
+#: CLF missing-value marker).
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\r": "\\r",
+            "\t": "\\t"}
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n", "r": "\r", "t": "\t",
+              "-": "-"}
+_NEEDS_ESCAPE = re.compile(r'["\\\n\r\t]|[\x00-\x1f]')
+_ESCAPE_SEQ = re.compile(r"\\(x[0-9a-fA-F]{2}|.)", re.DOTALL)
+
+
+def _escape_quoted(value: str) -> str:
+    """Escape a referer/user-agent value for emission inside quotes."""
+    if value == "-":
+        # A literal "-" would read back as the missing-value marker.
+        return "\\-"
+
+    def sub(m: re.Match[str]) -> str:
+        ch = m.group(0)
+        mapped = _ESCAPES.get(ch)
+        if mapped is not None:
+            return mapped
+        return f"\\x{ord(ch):02x}"
+
+    return _NEEDS_ESCAPE.sub(sub, value)
+
+
+def _unescape_quoted(value: str) -> str:
+    """Invert :func:`_escape_quoted` (unknown escapes pass through)."""
+    if "\\" not in value:
+        return value
+
+    def sub(m: re.Match[str]) -> str:
+        seq = m.group(1)
+        if seq.startswith("x") and len(seq) == 3:
+            return chr(int(seq[1:], 16))
+        return _UNESCAPES.get(seq, seq)
+
+    return _ESCAPE_SEQ.sub(sub, value)
 
 
 def parse_line(line: str) -> LogRecord:
@@ -82,11 +197,13 @@ def parse_line(line: str) -> LogRecord:
     )) - _zone_offset_seconds(m.group("zone"))
     size_field = m.group("size")
     referer = m.group("referer")
-    if referer == "-":
-        referer = None
+    referer = None if referer == "-" else (
+        _unescape_quoted(referer) if referer is not None else None
+    )
     agent = m.group("agent")
-    if agent == "-":
-        agent = None
+    agent = None if agent == "-" else (
+        _unescape_quoted(agent) if agent is not None else None
+    )
     return LogRecord(
         host=m.group("host"),
         ident=m.group("ident"),
@@ -102,50 +219,102 @@ def parse_line(line: str) -> LogRecord:
     )
 
 
+_BARE_FIELD_BAD = re.compile(r"[\s\"\x00-\x1f]")
+
+
+def _check_bare(name: str, value: str) -> str:
+    """Reject a whitespace-delimited field that would emit an
+    unparseable line (whitespace, quotes, control characters)."""
+    if not value or _BARE_FIELD_BAD.search(value):
+        raise ValueError(
+            f"CLF field {name}={value!r} cannot be emitted: it contains "
+            "whitespace, quotes, or control characters (or is empty)"
+        )
+    return value
+
+
 def format_line(record: LogRecord) -> str:
     """Format a :class:`LogRecord` back into a CLF line.
 
     Sub-second precision is truncated (CLF stores whole seconds), so
     ``parse_line(format_line(r))`` round-trips every field except the
-    fractional part of the timestamp.
+    fractional part of the timestamp.  Referer/user-agent values are
+    backslash-escaped; whitespace-delimited fields that cannot be
+    represented (embedded spaces, quotes, control characters) raise
+    ``ValueError`` instead of silently emitting a corrupt line.
     """
     t = int(record.timestamp)
-    year, mon, day, hh, mm, ss, _, _, _ = __import__("time").gmtime(t)
+    year, mon, day, hh, mm, ss, _, _, _ = time.gmtime(t)
     stamp = (
         f"{day:02d}/{_MONTH_NAMES[mon]}/{year:04d}:"
         f"{hh:02d}:{mm:02d}:{ss:02d} +0000"
     )
+    host = _check_bare("host", record.host)
+    ident = _check_bare("ident", record.ident)
+    authuser = _check_bare("authuser", record.authuser)
+    method = _check_bare("method", record.method)
+    path = _check_bare("path", record.path)
+    proto = record.protocol
+    if '"' in proto or "\n" in proto or "\r" in proto:
+        raise ValueError(f"CLF protocol {proto!r} cannot be emitted")
     base = (
-        f"{record.host} {record.ident} {record.authuser} [{stamp}] "
-        f'"{record.method} {record.path} {record.protocol}" '
+        f"{host} {ident} {authuser} [{stamp}] "
+        f'"{method} {path} {proto}" '
         f"{record.status} {record.size}"
     )
     if record.referer is not None or record.agent is not None:
-        base += f' "{record.referer or "-"}"'
+        ref = "-" if record.referer is None else _escape_quoted(record.referer)
+        base += f' "{ref}"'
     if record.agent is not None:
-        base += f' "{record.agent}"'
+        base += f' "{_escape_quoted(record.agent)}"'
     return base
 
 
-def parse_lines(lines: Iterable[str], *, strict: bool = True) -> Iterator[LogRecord]:
+def parse_lines(
+    lines: Iterable[str],
+    *,
+    strict: bool = True,
+    stats: ParseStats | None = None,
+    on_drop: Callable[[str, CLFParseError], None] | None = None,
+) -> Iterator[LogRecord]:
     """Parse an iterable of lines, skipping blanks.
 
-    With ``strict=False``, malformed lines are silently dropped instead of
-    raising (real-world logs routinely contain garbage lines).
+    With ``strict=False``, malformed lines are dropped instead of
+    raising (real-world logs routinely contain garbage lines) — but
+    never silently: pass ``stats`` (a :class:`ParseStats`, updated in
+    place) and/or ``on_drop`` (called with the offending line and the
+    parse error) to account for every dropped line.
     """
     for line in lines:
         if not line.strip():
+            if stats is not None:
+                stats.blank += 1
             continue
+        if stats is not None:
+            stats.total += 1
         try:
-            yield parse_line(line)
-        except CLFParseError:
+            rec = parse_line(line)
+        except CLFParseError as exc:
             if strict:
                 raise
+            if stats is not None:
+                stats.record_drop(line)
+            if on_drop is not None:
+                on_drop(line, exc)
+            continue
+        if stats is not None:
+            stats.parsed += 1
+        yield rec
 
 
-def read_log(fp: TextIO, *, strict: bool = True) -> list[LogRecord]:
+def read_log(
+    fp: TextIO,
+    *,
+    strict: bool = True,
+    stats: ParseStats | None = None,
+) -> list[LogRecord]:
     """Read an opened log file into a list of records."""
-    return list(parse_lines(fp, strict=strict))
+    return list(parse_lines(fp, strict=strict, stats=stats))
 
 
 def write_log(fp: TextIO, records: Iterable[LogRecord]) -> int:
@@ -155,3 +324,64 @@ def write_log(fp: TextIO, records: Iterable[LogRecord]) -> int:
         fp.write(format_line(rec) + "\n")
         n += 1
     return n
+
+
+def _open_text(path: Path) -> TextIO:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+    return path.open("r", encoding="utf-8", errors="replace")
+
+
+def iter_log(
+    path: Path | str,
+    *,
+    strict: bool = False,
+    stats: ParseStats | None = None,
+) -> Iterator[LogRecord]:
+    """Stream a log file as records without materializing it.
+
+    Opens ``path`` (gzip-transparent for ``.gz``), yields one
+    :class:`LogRecord` at a time, and closes the file when exhausted or
+    the generator is discarded.  Defaults to lenient parsing — real logs
+    are messy — so pass ``stats`` to observe drops.
+    """
+    path = Path(path)
+    with _open_text(path) as fp:
+        yield from parse_lines(fp, strict=strict, stats=stats)
+
+
+class RecordStream:
+    """Marker base for re-iterable, generator-backed record sources.
+
+    Consumers that would otherwise buffer a ``list[LogRecord]`` (the
+    miners, the model-cache fingerprint) can iterate a
+    :class:`RecordStream` any number of times; each ``iter()`` is a
+    fresh pass over the backing store.  :func:`repro.core.system.mine_models`
+    dispatches to the one-pass streaming fold when the training records
+    are a stream instead of a list.
+    """
+
+    def __iter__(self) -> Iterator[LogRecord]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CLFSource(RecordStream):
+    """A re-iterable, constant-memory view of a CLF file on disk.
+
+    Each iteration re-opens the file and re-parses it lazily; ``stats``
+    always describes the *latest completed or in-progress* pass, so
+    after one full iteration the dropped-line count of the file is
+    available without ever holding the records in memory.
+    """
+
+    def __init__(self, path: Path | str, *, strict: bool = False) -> None:
+        self.path = Path(path)
+        self.strict = strict
+        self.stats = ParseStats()
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        self.stats.reset()
+        return iter_log(self.path, strict=self.strict, stats=self.stats)
+
+    def __repr__(self) -> str:
+        return f"CLFSource({str(self.path)!r}, strict={self.strict})"

@@ -11,14 +11,17 @@ connection in the trace.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from .records import LogRecord, Request, Trace
 
 __all__ = [
     "Session",
     "sessionize",
+    "StreamSessionizer",
+    "iter_sessions",
     "page_sequences",
     "trace_from_records",
     "DEFAULT_SESSION_TIMEOUT",
@@ -124,6 +127,123 @@ def sessionize(
             sessions.append(Session(client, tuple(current)))
     sessions.sort(key=lambda s: (s.start, s.client))
     return sessions
+
+
+class StreamSessionizer:
+    """Incremental sessionizer: feed time-ordered records, collect
+    retired sessions as soon as they go idle past the timeout.
+
+    Where :func:`sessionize` buckets the *whole* log per client before
+    emitting anything (O(trace) memory), this holds only the sessions
+    still open inside the trailing timeout window — the working set a
+    one-pass mining pipeline needs — and retires a session the moment
+    the stream's clock passes ``last_request + timeout``.
+
+    Records must arrive with non-decreasing timestamps (a log file's
+    natural order); equal timestamps keep their feed order, matching the
+    stable per-client sort of the batch path.  Fed the same records in
+    time order, retired + flushed sessions are exactly
+    ``sessionize(records)`` up to emission order (the batch path sorts
+    by ``(start, client)``; retirement emits by idle time).
+
+    A gap of exactly ``timeout`` seconds does **not** split a session —
+    the split rule is strictly-greater, same as the batch path.
+    """
+
+    def __init__(
+        self,
+        *,
+        timeout: float = DEFAULT_SESSION_TIMEOUT,
+        successful_only: bool = True,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self.successful_only = successful_only
+        self._open: dict[str, list[LogRecord]] = {}
+        self._last: dict[str, float] = {}
+        #: lazy-deletion heap of (last_timestamp, client) retirement probes
+        self._idle_heap: list[tuple[float, str]] = []
+        self._clock = float("-inf")
+        #: total sessions retired (including flushed)
+        self.sessions_emitted = 0
+        #: high-water mark of concurrently open sessions (memory proof)
+        self.peak_open = 0
+
+    def __len__(self) -> int:
+        """Number of currently open sessions."""
+        return len(self._open)
+
+    def _retire_idle(self, now: float) -> list[Session]:
+        retired: list[Session] = []
+        heap = self._idle_heap
+        while heap and now - heap[0][0] > self.timeout:
+            last_ts, client = heapq.heappop(heap)
+            current = self._last.get(client)
+            if current is None or current != last_ts:
+                continue  # stale probe: the client was active since
+            retired.append(Session(client, tuple(self._open.pop(client))))
+            del self._last[client]
+        self.sessions_emitted += len(retired)
+        return retired
+
+    def feed(self, rec: LogRecord) -> list[Session]:
+        """Advance the stream by one record; return sessions retired by it.
+
+        Raises ``ValueError`` if ``rec`` is older than a previously fed
+        record — streaming requires the log's natural time order (sort
+        the input, as the CLI does, when it is not).
+        """
+        ts = rec.timestamp
+        if ts < self._clock:
+            raise ValueError(
+                f"records must be fed in time order: {ts} after {self._clock}"
+            )
+        self._clock = ts
+        retired = self._retire_idle(ts)
+        if self.successful_only and not rec.is_success():
+            return retired
+        client = rec.host
+        bucket = self._open.get(client)
+        if bucket is None:
+            # Either a brand-new client or one whose previous session
+            # was just retired above (gap > timeout either way).
+            self._open[client] = [rec]
+            if len(self._open) > self.peak_open:
+                self.peak_open = len(self._open)
+        else:
+            bucket.append(rec)
+        self._last[client] = ts
+        heapq.heappush(self._idle_heap, (ts, client))
+        return retired
+
+    def flush(self) -> list[Session]:
+        """Retire every still-open session (end of stream)."""
+        out = [
+            Session(client, tuple(recs))
+            for client, recs in self._open.items()
+        ]
+        self.sessions_emitted += len(out)
+        self._open.clear()
+        self._last.clear()
+        self._idle_heap.clear()
+        return out
+
+
+def iter_sessions(
+    records: Iterable[LogRecord],
+    *,
+    timeout: float = DEFAULT_SESSION_TIMEOUT,
+    successful_only: bool = True,
+) -> Iterator[Session]:
+    """Stream sessions out of time-ordered records, one pass, bounded
+    memory — the generator face of :class:`StreamSessionizer`."""
+    sessionizer = StreamSessionizer(
+        timeout=timeout, successful_only=successful_only
+    )
+    for rec in records:
+        yield from sessionizer.feed(rec)
+    yield from sessionizer.flush()
 
 
 def page_sequences(

@@ -1,23 +1,30 @@
 """Workload persistence: save/load sites and workloads on disk.
 
-A saved workload is a directory of three plain files:
+A saved workload is a directory of plain files:
 
 * ``site.json`` — the website model (pages, bundles, links, categories);
 * ``training.log`` — the training log in Common Log Format;
-* ``access.log`` — the evaluation trace re-emitted as CLF.
+* ``access.log`` — the evaluation trace re-emitted as CLF;
+* ``trace.meta.jsonl`` — sidecar with what CLF cannot carry: exact
+  sub-second arrivals, connection ids, and the generator-assigned
+  ``is_embedded``/``dynamic``/``parent`` flags per request.
 
-Everything round-trips through public formats, so saved workloads can
-be consumed by external tools (or by this library's CLI) and real logs
-can be dropped in place of the synthetic ones.
+``access.log`` stays the public, tool-friendly artifact; the sidecar is
+what makes ``save_workload → load_workload`` faithful.  Without it (real
+logs dropped into a directory, or older saves) loading falls back to the
+extension heuristics of :func:`~repro.logs.sessions.trace_from_records`,
+which can disagree with generator-assigned flags on extension-less
+paths — exactly the drift the sidecar exists to prevent.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
 
-from .clf import read_log, write_log
-from .records import LogRecord
+from .clf import CLFSource, ParseStats, read_log, write_log
+from .records import LogRecord, Request, Trace
 from .sessions import trace_from_records
 from .site import Category, EmbeddedObject, Page, Website
 from .workloads import Workload
@@ -29,9 +36,15 @@ __all__ = [
     "load_site",
     "save_workload",
     "load_workload",
+    "TRACE_META_NAME",
 ]
 
+logger = logging.getLogger(__name__)
+
 _FORMAT_VERSION = 1
+
+#: Name of the trace-metadata sidecar inside a workload directory.
+TRACE_META_NAME = "trace.meta.jsonl"
 
 
 def site_to_dict(site: Website) -> dict:
@@ -100,7 +113,8 @@ def load_site(path: Path | str) -> Website:
 
 
 def save_workload(workload: Workload, directory: Path | str) -> Path:
-    """Write a workload as ``site.json`` + two CLF logs; returns the dir."""
+    """Write a workload as ``site.json`` + two CLF logs + the trace
+    sidecar; returns the dir."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     save_site(workload.site, directory / "site.json")
@@ -114,24 +128,122 @@ def save_workload(workload: Workload, directory: Path | str) -> Path:
     ]
     with (directory / "access.log").open("w") as fp:
         write_log(fp, eval_records)
+    _save_trace_meta(workload.trace, directory / TRACE_META_NAME)
     return directory
 
 
-def load_workload(directory: Path | str, name: str | None = None) -> Workload:
+def _save_trace_meta(trace: Trace, path: Path) -> None:
+    """Write the JSONL sidecar that makes the trace reconstructible."""
+    with path.open("w") as fp:
+        header = {
+            "format_version": _FORMAT_VERSION,
+            "kind": "prord-trace-meta",
+            "name": trace.name,
+            "n": len(trace),
+        }
+        fp.write(json.dumps(header) + "\n")
+        for r in trace:
+            row = {
+                "a": r.arrival,
+                "c": r.conn_id,
+                "p": r.path,
+                "s": r.size,
+                "e": r.is_embedded,
+                "d": r.dynamic,
+                "pa": r.parent,
+                "cl": r.client,
+            }
+            fp.write(json.dumps(row) + "\n")
+
+
+def _load_trace_meta(path: Path, *, name: str) -> Trace:
+    """Rebuild the exact trace from the sidecar (raises on any defect)."""
+    with path.open() as fp:
+        header = json.loads(fp.readline())
+        if (header.get("kind") != "prord-trace-meta"
+                or header.get("format_version") != _FORMAT_VERSION):
+            raise ValueError(f"unrecognized trace sidecar header: {header!r}")
+        requests = [
+            Request(
+                arrival=float(row["a"]),
+                conn_id=int(row["c"]),
+                path=row["p"],
+                size=int(row["s"]),
+                is_embedded=bool(row["e"]),
+                parent=row["pa"],
+                client=row["cl"],
+                dynamic=bool(row["d"]),
+            )
+            for row in map(json.loads, fp)
+        ]
+    if len(requests) != header["n"]:
+        raise ValueError(
+            f"trace sidecar truncated: header says {header['n']} requests, "
+            f"found {len(requests)}"
+        )
+    return Trace(requests, name=name)
+
+
+def _warn_drops(stats: ParseStats, path: Path) -> None:
+    if stats.dropped:
+        logger.warning("%s: %s", path, stats.summary())
+
+
+def load_workload(
+    directory: Path | str,
+    name: str | None = None,
+    *,
+    stream: bool = False,
+) -> Workload:
     """Load a workload saved by :func:`save_workload`.
 
-    CLF stores whole seconds, so sub-second arrival spacing is not
-    preserved exactly; connection/request structure and sizes are.
+    With the ``trace.meta.jsonl`` sidecar present the evaluation trace is
+    reconstructed exactly — sub-second arrivals, connection structure,
+    and embedded/dynamic flags all survive the round trip.  Without it
+    (real logs, older saves) arrivals carry CLF's whole-second resolution
+    and flags come from extension heuristics; a corrupt or stale sidecar
+    logs a warning and falls back the same way.
+
+    ``stream=True`` returns the training log as a re-iterable
+    :class:`~repro.logs.clf.CLFSource` instead of a materialized list,
+    so mining can run in constant memory (see
+    :func:`repro.mining.fold.mine_models_stream`); the evaluation trace
+    is still materialized — the simulator needs it all.
+
+    Malformed log lines are never silently discarded: drop counts (with
+    samples) are logged at WARNING level on the materialized paths, and
+    streaming sources expose them as ``training_records.stats``.
     """
     directory = Path(directory)
     site = load_site(directory / "site.json")
-    with (directory / "training.log").open() as fp:
-        training = read_log(fp, strict=False)
-    with (directory / "access.log").open() as fp:
-        eval_records = read_log(fp, strict=False)
-    if not eval_records:
-        raise ValueError(f"no evaluation records in {directory}")
-    trace = trace_from_records(eval_records,
-                               name=f"{name or site.name}-eval")
+    training_path = directory / "training.log"
+    if stream:
+        training: "list[LogRecord] | CLFSource" = CLFSource(training_path)
+    else:
+        stats = ParseStats()
+        with training_path.open() as fp:
+            training = read_log(fp, strict=False, stats=stats)
+        _warn_drops(stats, training_path)
+
+    meta_path = directory / TRACE_META_NAME
+    trace_name = f"{name or site.name}-eval"
+    trace: Trace | None = None
+    if meta_path.exists():
+        try:
+            trace = _load_trace_meta(meta_path, name=trace_name)
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            logger.warning(
+                "%s: unusable trace sidecar (%s); falling back to CLF "
+                "heuristics", meta_path, exc,
+            )
+    if trace is None:
+        access_path = directory / "access.log"
+        stats = ParseStats()
+        with access_path.open() as fp:
+            eval_records = read_log(fp, strict=False, stats=stats)
+        _warn_drops(stats, access_path)
+        if not eval_records:
+            raise ValueError(f"no evaluation records in {directory}")
+        trace = trace_from_records(eval_records, name=trace_name)
     return Workload(name=name or site.name, site=site,
                     training_records=training, trace=trace)

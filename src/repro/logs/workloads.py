@@ -20,7 +20,9 @@ Paper trace statistics reproduced (DESIGN.md §3):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
+from .clf import RecordStream
 from .records import LogRecord, Trace
 from .sessions import trace_from_records
 from .site import SiteSpec, Website, build_site
@@ -31,6 +33,7 @@ __all__ = [
     "cs_department_workload",
     "worldcup_workload",
     "synthetic_workload",
+    "training_log_records",
     "WORKLOAD_PRESETS",
     "make_workload",
 ]
@@ -38,11 +41,17 @@ __all__ = [
 
 @dataclass(slots=True)
 class Workload:
-    """A complete experiment input: site + training log + eval trace."""
+    """A complete experiment input: site + training log + eval trace.
+
+    ``training_records`` is usually a materialized list; workloads loaded
+    with ``load_workload(..., stream=True)`` carry a re-iterable
+    :class:`~repro.logs.clf.RecordStream` instead, and mining then runs
+    in one constant-memory pass.
+    """
 
     name: str
     site: Website
-    training_records: list[LogRecord]
+    training_records: Sequence[LogRecord] | RecordStream
     trace: Trace
 
     @property
@@ -112,18 +121,10 @@ def _make(
     return Workload(name=name, site=site, training_records=training, trace=trace)
 
 
-def cs_department_workload(
-    *, scale: float = 1.0, seed: int = 101,
-    session_rate: float | None = None, duration_s: float | None = None,
-    think_time_mean: float | None = None,
-    max_session_pages: int | None = None,
-) -> Workload:
-    """TAMU-CS-like workload: ~27 k requests, ~4.7 k files, avg 12 KB.
-
-    The site has the paper's five departmental user categories; traffic
-    is navigation-driven, so dependency-graph mining has real structure
-    to find.  ``scale`` multiplies the request count (eval and training).
-    """
+def _cs_department_config(
+    scale: float, seed: int
+) -> tuple[Website, TrafficSpec, TrafficSpec]:
+    """Site + eval/training traffic specs for the CS-department preset."""
     if scale <= 0:
         raise ValueError("scale must be positive")
     site = build_site(SiteSpec(
@@ -153,8 +154,6 @@ def cs_department_workload(
         },
         seed=seed + 1,
     )
-    eval_spec = _apply_load(eval_spec, session_rate, duration_s,
-                            think_time_mean, max_session_pages)
     train_spec = TrafficSpec(
         num_requests=max(400, int(2 * n_eval)),
         session_rate=18.0,
@@ -163,22 +162,31 @@ def cs_department_workload(
         category_mix=eval_spec.category_mix,
         seed=seed + 2,
     )
-    return _make("cs-department", site, eval_spec, train_spec)
+    return site, eval_spec, train_spec
 
 
-def worldcup_workload(
-    *, scale: float = 0.05, seed: int = 202,
+def cs_department_workload(
+    *, scale: float = 1.0, seed: int = 101,
     session_rate: float | None = None, duration_s: float | None = None,
     think_time_mean: float | None = None,
     max_session_pages: int | None = None,
 ) -> Workload:
-    """WorldCup'98-like workload: 3,809 files, huge request count, heavy skew.
+    """TAMU-CS-like workload: ~27 k requests, ~4.7 k files, avg 12 KB.
 
-    The full trace is 897,498 requests; the default ``scale=0.05`` keeps
-    runs fast (~45 k requests) while preserving the file set and the
-    Zipf popularity skew that defines this workload.  Pass ``scale=1.0``
-    for the paper-size trace.
+    The site has the paper's five departmental user categories; traffic
+    is navigation-driven, so dependency-graph mining has real structure
+    to find.  ``scale`` multiplies the request count (eval and training).
     """
+    site, eval_spec, train_spec = _cs_department_config(scale, seed)
+    eval_spec = _apply_load(eval_spec, session_rate, duration_s,
+                            think_time_mean, max_session_pages)
+    return _make("cs-department", site, eval_spec, train_spec)
+
+
+def _worldcup_config(
+    scale: float, seed: int
+) -> tuple[Website, TrafficSpec, TrafficSpec]:
+    """Site + eval/training traffic specs for the WorldCup preset."""
     if scale <= 0:
         raise ValueError("scale must be positive")
     site = build_site(SiteSpec(
@@ -201,8 +209,6 @@ def worldcup_workload(
         link_follow_prob=0.6,
         seed=seed + 1,
     )
-    eval_spec = _apply_load(eval_spec, session_rate, duration_s,
-                            think_time_mean, max_session_pages)
     train_spec = TrafficSpec(
         num_requests=max(1000, int(n_eval)),
         session_rate=60.0,
@@ -212,16 +218,32 @@ def worldcup_workload(
         link_follow_prob=0.6,
         seed=seed + 2,
     )
-    return _make("worldcup", site, eval_spec, train_spec)
+    return site, eval_spec, train_spec
 
 
-def synthetic_workload(
-    *, scale: float = 1.0, seed: int = 303,
+def worldcup_workload(
+    *, scale: float = 0.05, seed: int = 202,
     session_rate: float | None = None, duration_s: float | None = None,
     think_time_mean: float | None = None,
     max_session_pages: int | None = None,
 ) -> Workload:
-    """The paper's synthetic trace: 30 k requests, 3 k files, avg 10 KB."""
+    """WorldCup'98-like workload: 3,809 files, huge request count, heavy skew.
+
+    The full trace is 897,498 requests; the default ``scale=0.05`` keeps
+    runs fast (~45 k requests) while preserving the file set and the
+    Zipf popularity skew that defines this workload.  Pass ``scale=1.0``
+    for the paper-size trace.
+    """
+    site, eval_spec, train_spec = _worldcup_config(scale, seed)
+    eval_spec = _apply_load(eval_spec, session_rate, duration_s,
+                            think_time_mean, max_session_pages)
+    return _make("worldcup", site, eval_spec, train_spec)
+
+
+def _synthetic_config(
+    scale: float, seed: int
+) -> tuple[Website, TrafficSpec, TrafficSpec]:
+    """Site + eval/training traffic specs for the synthetic preset."""
     if scale <= 0:
         raise ValueError("scale must be positive")
     site = build_site(SiteSpec(
@@ -242,8 +264,6 @@ def synthetic_workload(
         think_time_mean=0.7,
         seed=seed + 1,
     )
-    eval_spec = _apply_load(eval_spec, session_rate, duration_s,
-                            think_time_mean, max_session_pages)
     train_spec = TrafficSpec(
         num_requests=max(400, int(1.5 * n_eval)),
         session_rate=20.0,
@@ -251,7 +271,51 @@ def synthetic_workload(
         think_time_mean=0.7,
         seed=seed + 2,
     )
+    return site, eval_spec, train_spec
+
+
+def synthetic_workload(
+    *, scale: float = 1.0, seed: int = 303,
+    session_rate: float | None = None, duration_s: float | None = None,
+    think_time_mean: float | None = None,
+    max_session_pages: int | None = None,
+) -> Workload:
+    """The paper's synthetic trace: 30 k requests, 3 k files, avg 10 KB."""
+    site, eval_spec, train_spec = _synthetic_config(scale, seed)
+    eval_spec = _apply_load(eval_spec, session_rate, duration_s,
+                            think_time_mean, max_session_pages)
     return _make("synthetic", site, eval_spec, train_spec)
+
+
+_PRESET_CONFIGS = {
+    "cs-department": _cs_department_config,
+    "worldcup": _worldcup_config,
+    "synthetic": _synthetic_config,
+}
+
+_PRESET_SEEDS = {"cs-department": 101, "worldcup": 202, "synthetic": 303}
+
+
+def training_log_records(
+    name: str, *, scale: float = 1.0, seed: int | None = None
+) -> list[LogRecord]:
+    """Just the training log of a preset — no eval trace is built.
+
+    Identical to ``make_workload(name, scale=scale).training_records``
+    (same site, same spec, same seed), but skips generating the usually
+    larger evaluation side.  The memory benchmark uses this to write a
+    large training log without paying for a trace it will not replay.
+    """
+    try:
+        config = _PRESET_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_PRESET_CONFIGS)}"
+        ) from None
+    site, _eval_spec, train_spec = config(
+        scale, _PRESET_SEEDS[name] if seed is None else seed
+    )
+    return TraceGenerator(site, train_spec).generate_records()
 
 
 WORKLOAD_PRESETS = {

@@ -2,10 +2,21 @@
 
 from .adaptive import IndexPageSuggestion, IndexPageSynthesizer, cooccurrence_counts
 from .association import AprioriMiner, AssociationPredictor, AssociationRule
-from .bundles import BundleMiner, BundleTable
-from .categorize import Categorization, CategoryProfile, UserCategorizer
+from .bundles import BundleAccumulator, BundleMiner, BundleTable
+from .categorize import (
+    Categorization,
+    CategoryAccumulator,
+    CategoryProfile,
+    UserCategorizer,
+)
 from .depgraph import DependencyGraph, Prediction
 from .evaluation import NextPagePredictor, PredictorReport, evaluate_predictor
+from .fold import (
+    StreamingModelFold,
+    mine_models_stream,
+    models_equal,
+    models_fingerprint,
+)
 from .modelcache import ModelCache, cached_mine_models, mining_fingerprint
 from .popularity import PopularityTracker, RankTable
 from .ppm import PPMPredictor
@@ -16,10 +27,13 @@ from .sequences import SequenceMiner, SequencePredictor, SequenceRule
 __all__ = [
     "IndexPageSuggestion", "IndexPageSynthesizer", "cooccurrence_counts",
     "AprioriMiner", "AssociationPredictor", "AssociationRule",
-    "BundleMiner", "BundleTable",
-    "Categorization", "CategoryProfile", "UserCategorizer",
+    "BundleAccumulator", "BundleMiner", "BundleTable",
+    "Categorization", "CategoryAccumulator", "CategoryProfile",
+    "UserCategorizer",
     "DependencyGraph", "Prediction",
     "NextPagePredictor", "PredictorReport", "evaluate_predictor",
+    "StreamingModelFold", "mine_models_stream",
+    "models_equal", "models_fingerprint",
     "ModelCache", "cached_mine_models", "mining_fingerprint",
     "PopularityTracker", "RankTable",
     "PPMPredictor",

@@ -17,7 +17,7 @@ from typing import Iterable, Mapping, Sequence
 from ..logs.records import LogRecord
 from ..logs.sessions import Session, looks_embedded, sessionize
 
-__all__ = ["BundleTable", "BundleMiner"]
+__all__ = ["BundleTable", "BundleMiner", "BundleAccumulator"]
 
 
 class BundleTable:
@@ -91,46 +91,76 @@ class BundleMiner:
         self.min_confidence = min_confidence
         self.min_page_views = min_page_views
 
+    def accumulator(self) -> "BundleAccumulator":
+        """A fresh incremental accumulator with this miner's thresholds."""
+        return BundleAccumulator(self)
+
     def mine_sessions(self, sessions: Iterable[Session]) -> BundleTable:
         """Mine bundles from reconstructed sessions."""
-        page_views: Counter[str] = Counter()
-        attach: Counter[tuple[str, str]] = Counter()
+        acc = self.accumulator()
         for sess in sessions:
-            current_page: str | None = None
-            page_time = 0.0
-            seen_for_page: set[str] = set()
-            for rec in sess.records:
-                if looks_embedded(rec.path):
-                    if (
-                        current_page is not None
-                        and rec.timestamp - page_time <= self.attach_window
-                        and rec.path not in seen_for_page
-                    ):
-                        attach[(current_page, rec.path)] += 1
-                        seen_for_page.add(rec.path)
-                else:
-                    current_page = rec.path
-                    page_time = rec.timestamp
-                    seen_for_page = set()
-                    page_views[rec.path] += 1
+            acc.add_session(sess)
+        return acc.finish()
 
+    def mine(self, records: Iterable[LogRecord]) -> BundleTable:
+        """Mine bundles straight from raw log records (sessionizing first)."""
+        return self.mine_sessions(sessionize(records))
+
+
+class BundleAccumulator:
+    """Incremental counterpart of :meth:`BundleMiner.mine_sessions`.
+
+    Holds only model-sized state (page-view and attachment counters, not
+    the sessions themselves), so the streaming pipeline can fold retired
+    sessions in one at a time; :meth:`finish` applies the same
+    owner-resolution and confidence thresholds as the batch miner, so
+    ``accumulate-then-finish`` over the same sessions yields the same
+    :class:`BundleTable` regardless of feed order.
+    """
+
+    def __init__(self, miner: BundleMiner) -> None:
+        self.miner = miner
+        self._page_views: Counter[str] = Counter()
+        self._attach: Counter[tuple[str, str]] = Counter()
+
+    def add_session(self, sess: Session) -> None:
+        """Fold one session's page/embedded-object structure in."""
+        attach_window = self.miner.attach_window
+        current_page: str | None = None
+        page_time = 0.0
+        seen_for_page: set[str] = set()
+        for rec in sess.records:
+            if looks_embedded(rec.path):
+                if (
+                    current_page is not None
+                    and rec.timestamp - page_time <= attach_window
+                    and rec.path not in seen_for_page
+                ):
+                    self._attach[(current_page, rec.path)] += 1
+                    seen_for_page.add(rec.path)
+            else:
+                current_page = rec.path
+                page_time = rec.timestamp
+                seen_for_page = set()
+                self._page_views[rec.path] += 1
+
+    def finish(self) -> BundleTable:
+        """Resolve owners and thresholds into the final table."""
         # Resolve each object to the page with the strongest attachment,
         # then keep attachments clearing the confidence threshold.
         best_owner: dict[str, tuple[int, str]] = {}
-        for (page, obj), n in attach.items():
+        for (page, obj), n in self._attach.items():
             key = (n, page)
             if obj not in best_owner or key > best_owner[obj]:
                 best_owner[obj] = (n, page)
 
         bundles: dict[str, list[str]] = {}
         for obj, (n, page) in best_owner.items():
-            views = page_views[page]
-            if views < self.min_page_views:
+            views = self._page_views[page]
+            if views < self.miner.min_page_views:
                 continue
-            if n / views >= self.min_confidence:
+            if n / views >= self.miner.min_confidence:
                 bundles.setdefault(page, []).append(obj)
-        return BundleTable({p: tuple(sorted(objs)) for p, objs in bundles.items()})
-
-    def mine(self, records: Iterable[LogRecord]) -> BundleTable:
-        """Mine bundles straight from raw log records (sessionizing first)."""
-        return self.mine_sessions(sessionize(records))
+        return BundleTable(
+            {p: tuple(sorted(objs)) for p, objs in bundles.items()}
+        )

@@ -21,7 +21,8 @@ from typing import Iterable, Mapping, Sequence
 
 from ..logs.site import Website
 
-__all__ = ["CategoryProfile", "Categorization", "UserCategorizer"]
+__all__ = ["CategoryProfile", "Categorization", "UserCategorizer",
+           "CategoryAccumulator"]
 
 
 def _section_of(path: str) -> str:
@@ -111,28 +112,10 @@ class UserCategorizer:
         ``min_sessions`` sessions become categories whose profile is the
         normalised page-visit histogram of their sessions.
         """
-        by_section: dict[str, Counter[str]] = {}
-        session_counts: Counter[str] = Counter()
+        acc = CategoryAccumulator()
         for seq in sequences:
-            if not seq:
-                continue
-            dominant = Counter(_section_of(p) for p in seq).most_common(1)[0][0]
-            by_section.setdefault(dominant, Counter()).update(seq)
-            session_counts[dominant] += 1
-        profiles = []
-        for section, counts in sorted(by_section.items()):
-            if session_counts[section] < min_sessions:
-                continue
-            total = sum(counts.values())
-            profiles.append(CategoryProfile(
-                name=section,
-                page_weights={p: c / total for p, c in counts.items()},
-            ))
-        if not profiles:
-            raise ValueError(
-                "no section reached min_sessions; lower the threshold"
-            )
-        return cls(profiles, **kwargs)
+            acc.add_sequence(seq)
+        return acc.finish(min_sessions=min_sessions, **kwargs)
 
     # -- classification -------------------------------------------------------
 
@@ -164,3 +147,44 @@ class UserCategorizer:
 
     def category_names(self) -> list[str]:
         return [p.name for p in self.profiles]
+
+
+class CategoryAccumulator:
+    """Incremental counterpart of :meth:`UserCategorizer.mine`.
+
+    State is per-section page histograms (model-sized: sections x pages),
+    never the sequences themselves, so the streaming fold can feed
+    sessions one at a time.  :meth:`finish` applies the batch method's
+    thresholds; profiles are section-sorted and the weights are the same
+    integer-count ratios, so feed order cannot change the result.
+    """
+
+    def __init__(self) -> None:
+        self._by_section: dict[str, Counter[str]] = {}
+        self._session_counts: Counter[str] = Counter()
+
+    def add_sequence(self, seq: Sequence[str]) -> None:
+        """Attribute one session's page sequence to its dominant section."""
+        if not seq:
+            return
+        dominant = Counter(_section_of(p) for p in seq).most_common(1)[0][0]
+        self._by_section.setdefault(dominant, Counter()).update(seq)
+        self._session_counts[dominant] += 1
+
+    def finish(self, *, min_sessions: int = 3, **kwargs) -> UserCategorizer:
+        """Build the categorizer; raises ``ValueError`` when no section
+        reaches ``min_sessions`` (same contract as the batch miner)."""
+        profiles = []
+        for section, counts in sorted(self._by_section.items()):
+            if self._session_counts[section] < min_sessions:
+                continue
+            total = sum(counts.values())
+            profiles.append(CategoryProfile(
+                name=section,
+                page_weights={p: c / total for p, c in counts.items()},
+            ))
+        if not profiles:
+            raise ValueError(
+                "no section reached min_sessions; lower the threshold"
+            )
+        return UserCategorizer(profiles, **kwargs)

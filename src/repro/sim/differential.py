@@ -21,7 +21,13 @@ contracts the paper's PRORD-vs-LARD comparisons silently assume:
   report either (same pure-observation contract, second consumer);
 * **serial/parallel equivalence** — the experiment grid's
   process-pool fan-out (``--jobs``) must return cell results
-  bit-identical to the in-process loop.
+  bit-identical to the in-process loop;
+* **streamed-mining equivalence** — the one-pass constant-memory fold
+  (:func:`repro.mining.fold.mine_models_stream`) must produce a
+  :class:`~repro.core.system.MinedModels` whose canonical fingerprint
+  equals the batch pipeline's, for both predictor kinds.  Any
+  divergence means the streaming pipeline mines different models than
+  the figures were generated from.
 
 Run the whole battery with :func:`run_differential_suite` (CLI:
 ``python -m repro differential``).
@@ -49,6 +55,7 @@ __all__ = [
     "check_audit_transparency",
     "check_telemetry_transparency",
     "check_grid_parallel",
+    "check_streamed_mining",
     "run_differential_suite",
 ]
 
@@ -319,6 +326,35 @@ def check_grid_parallel(
     )
 
 
+def check_streamed_mining(
+    workload: "Workload",
+    params: "SimulationParams | None" = None,
+) -> DifferentialCheck:
+    """Streamed one-pass mining must fingerprint-match batch mining."""
+    from ..core.system import mine_models
+    from ..mining.fold import mine_models_stream, models_fingerprint
+
+    name = "streamed-mining"
+    for kind in ("depgraph", "ppm"):
+        batch = mine_models(workload, params, predictor_kind=kind)
+        streamed = mine_models_stream(
+            iter(workload.training_records), params, predictor_kind=kind
+        )
+        a, b = models_fingerprint(batch), models_fingerprint(streamed)
+        if a != b:
+            return DifferentialCheck(
+                name, False,
+                f"{kind} on {workload.name}: batch {a[:12]} != "
+                f"stream {b[:12]} "
+                f"(sessions {batch.num_sessions} vs {streamed.num_sessions})",
+            )
+    return DifferentialCheck(
+        name, True,
+        f"batch == stream fingerprints on {workload.name} "
+        "(depgraph and ppm)",
+    )
+
+
 # -- the battery --------------------------------------------------------------
 
 
@@ -332,15 +368,17 @@ def run_differential_suite(
 ) -> DifferentialReport:
     """Run the whole differential battery over one workload.
 
-    Degenerate equivalence, per-policy determinism, audit and telemetry
-    transparency, and (``jobs >= 2``) serial-vs-pool grid equivalence.
+    Degenerate equivalence, streamed-vs-batch mining equivalence,
+    per-policy determinism, audit and telemetry transparency, and
+    (``jobs >= 2``) serial-vs-pool grid equivalence.
     """
     from ..experiments.common import QUICK, loaded_workload
 
     scale = scale or QUICK
     workload = loaded_workload(workload_name, scale)
     checks: list[DifferentialCheck] = [
-        check_degenerate_prord(workload, scale, params)
+        check_degenerate_prord(workload, scale, params),
+        check_streamed_mining(workload, params),
     ]
     for policy_name in policies:
         checks.append(

@@ -1,5 +1,6 @@
 """Unit and property tests for Common Log Format parsing/formatting."""
 
+import gzip
 import io
 
 import pytest
@@ -7,8 +8,11 @@ from hypothesis import given, strategies as st
 
 from repro.logs import (
     CLFParseError,
+    CLFSource,
     LogRecord,
+    ParseStats,
     format_line,
+    iter_log,
     parse_line,
     parse_lines,
     read_log,
@@ -112,6 +116,174 @@ class TestStreams:
         assert write_log(buf, recs) == 3
         buf.seek(0)
         assert read_log(buf) == recs
+
+
+class TestParseStats:
+    """Lenient parsing must account for every line, parsed or not."""
+
+    def test_counts_all_lines(self):
+        stats = ParseStats()
+        lines = [SAMPLE, "", "garbage", "  ", SAMPLE, "more garbage"]
+        recs = list(parse_lines(lines, strict=False, stats=stats))
+        assert len(recs) == 2
+        assert stats.total == 4          # non-blank lines
+        assert stats.parsed == 2
+        assert stats.blank == 2
+        assert stats.dropped == 2
+        assert stats.drop_fraction == 0.5
+
+    def test_samples_capped(self):
+        stats = ParseStats()
+        bad = [f"junk line {i}" for i in range(20)]
+        list(parse_lines(bad, strict=False, stats=stats))
+        assert stats.dropped == 20
+        assert len(stats.samples) == ParseStats.MAX_SAMPLES
+        assert stats.samples[0] == "junk line 0"
+
+    def test_on_drop_callback(self):
+        seen = []
+        list(parse_lines([SAMPLE, "oops"], strict=False,
+                         on_drop=lambda line, exc: seen.append(line)))
+        assert seen == ["oops"]
+
+    def test_summary_mentions_drops(self):
+        stats = ParseStats()
+        list(parse_lines([SAMPLE, "zzz"], strict=False, stats=stats))
+        s = stats.summary()
+        assert "1 lines parsed" in s and "dropped" in s and "zzz" in s
+
+    def test_clean_log_summary(self):
+        stats = ParseStats()
+        list(parse_lines([SAMPLE], strict=False, stats=stats))
+        assert stats.summary() == "1 lines parsed, 0 dropped"
+
+    def test_read_log_threads_stats(self):
+        stats = ParseStats()
+        buf = io.StringIO(SAMPLE + "\nnot clf\n")
+        recs = read_log(buf, strict=False, stats=stats)
+        assert len(recs) == 1
+        assert stats.dropped == 1
+
+    def test_strict_mode_still_raises(self):
+        stats = ParseStats()
+        with pytest.raises(CLFParseError):
+            list(parse_lines(["bad"], stats=stats))
+
+
+class TestQuotedFieldRoundTrip:
+    """Referer/agent values with quotes, backslashes and control
+    characters must survive format -> parse exactly."""
+
+    def mk(self, referer=None, agent=None):
+        return LogRecord(host="h", timestamp=0.0, method="GET", path="/x",
+                         protocol="HTTP/1.1", status=200, size=1,
+                         referer=referer, agent=agent)
+
+    @pytest.mark.parametrize("value", [
+        'Mozilla/5.0 "compatible"',
+        "back\\slash",
+        "tab\there",
+        "new\nline",
+        "cr\rhere",
+        "ctrl\x01char",
+        "-",          # literal dash, distinct from missing
+        "",           # empty string, distinct from missing
+        'mix "q" \\ \t\n\x02 end',
+    ])
+    def test_adversarial_roundtrip(self, value):
+        rec = self.mk(referer=value, agent=value)
+        again = parse_line(format_line(rec))
+        assert again.referer == value
+        assert again.agent == value
+
+    def test_empty_referer_not_none(self):
+        again = parse_line(format_line(self.mk(referer="")))
+        assert again.referer == ""
+
+    def test_missing_referer_stays_none(self):
+        again = parse_line(format_line(self.mk()))
+        assert again.referer is None
+        assert again.agent is None
+
+    quoted_st = st.text(
+        alphabet=st.characters(min_codepoint=0, max_codepoint=0x7F),
+        max_size=40,
+    )
+
+    @given(referer=quoted_st, agent=quoted_st)
+    def test_property_roundtrip(self, referer, agent):
+        rec = self.mk(referer=referer, agent=agent)
+        again = parse_line(format_line(rec))
+        assert again.referer == referer
+        assert again.agent == agent
+
+    def test_formatted_line_single_line(self):
+        line = format_line(self.mk(referer="a\nb", agent='c"d'))
+        assert "\n" not in line
+        assert len(line.splitlines()) == 1
+
+
+class TestRejectOnWrite:
+    """Bare CLF fields cannot be escaped; corrupting values must be
+    rejected at write time instead of emitting an unparseable line."""
+
+    def mk(self, **kw):
+        base = dict(host="h", timestamp=0.0, method="GET", path="/x",
+                    protocol="HTTP/1.1", status=200, size=1)
+        base.update(kw)
+        return LogRecord(**base)
+
+    @pytest.mark.parametrize("field,value", [
+        ("host", "a b"),
+        ("host", 'a"b'),
+        ("host", ""),
+        ("path", "/a b"),
+        ("path", "/a\nb"),
+        ("method", "G T"),
+        ("ident", "x y"),
+        ("authuser", "x\ty"),
+        ("protocol", 'HTTP/1.1"'),
+    ])
+    def test_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            format_line(self.mk(**{field: value}))
+
+    def test_good_record_still_formats(self):
+        assert parse_line(format_line(self.mk())) == self.mk()
+
+
+class TestStreamingSources:
+    def recs(self, n=3):
+        return [parse_line(SAMPLE)] * n
+
+    def test_iter_log_lazy(self, tmp_path):
+        p = tmp_path / "a.log"
+        with p.open("w") as fp:
+            write_log(fp, self.recs(3))
+        it = iter_log(p)
+        assert next(it) == parse_line(SAMPLE)
+        assert len(list(it)) == 2
+
+    def test_iter_log_gzip(self, tmp_path):
+        p = tmp_path / "a.log.gz"
+        buf = io.StringIO()
+        write_log(buf, self.recs(2))
+        with gzip.open(p, "wt") as fp:
+            fp.write(buf.getvalue())
+        assert len(list(iter_log(p))) == 2
+
+    def test_clf_source_reiterable(self, tmp_path):
+        p = tmp_path / "a.log"
+        with p.open("w") as fp:
+            write_log(fp, self.recs(3))
+        p.open("a").write("garbage\n")
+        src = CLFSource(p)
+        first = list(src)
+        second = list(src)
+        assert first == second == self.recs(3)
+        # stats describe the latest pass, not the sum of passes
+        assert src.stats.parsed == 3
+        assert src.stats.dropped == 1
 
 
 class TestCombinedAgent:

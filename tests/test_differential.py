@@ -52,6 +52,12 @@ class TestIndividualChecks:
         assert check.passed, check.detail
         assert "3 cells identical" in check.detail
 
+    def test_streamed_mining_matches_batch(self, workload):
+        from repro.sim.differential import check_streamed_mining
+        check = check_streamed_mining(workload)
+        assert check.passed, check.detail
+        assert "batch == stream" in check.detail
+
 
 class TestSuite:
     def test_full_battery_passes(self):
@@ -61,9 +67,11 @@ class TestSuite:
         assert isinstance(report, DifferentialReport)
         assert report.passed, report.format()
         names = [c.name for c in report.checks]
-        # degenerate + (determinism, audit, telemetry) per policy + grid.
+        # degenerate + streamed mining + (determinism, audit, telemetry)
+        # per policy + grid.
         assert names == [
             "degenerate-prord",
+            "streamed-mining",
             "determinism[lard]", "audit-transparency[lard]",
             "telemetry-transparency[lard]",
             "determinism[prord]", "audit-transparency[prord]",

@@ -186,5 +186,102 @@ class TestWorkloadRoundTrip:
         w = synthetic_workload(scale=0.02)
         out = save_workload(w, tmp_path / "wl")
         (out / "access.log").write_text("")
+        # The sidecar alone can rebuild the trace; only with both gone
+        # is the workload actually unusable.
+        (out / "trace.meta.jsonl").unlink()
         with pytest.raises(ValueError, match="no evaluation records"):
             load_workload(out)
+
+
+class TestTraceSidecar:
+    """`trace.meta.jsonl` makes save->load faithful where CLF cannot be."""
+
+    def make_workload(self):
+        return synthetic_workload(scale=0.02)
+
+    def test_exact_trace_roundtrip(self, tmp_path):
+        w = self.make_workload()
+        again = load_workload(save_workload(w, tmp_path / "wl"))
+        assert len(again.trace) == len(w.trace)
+        for a, b in zip(w.trace, again.trace):
+            # Exact sub-second arrivals, not CLF's whole seconds.
+            assert b.arrival == a.arrival
+            assert (b.conn_id, b.path, b.size) == (a.conn_id, a.path, a.size)
+            assert (b.is_embedded, b.dynamic) == (a.is_embedded, a.dynamic)
+            assert (b.parent, b.client) == (a.parent, a.client)
+
+    def test_absent_sidecar_falls_back_to_heuristics(self, tmp_path):
+        w = self.make_workload()
+        out = save_workload(w, tmp_path / "wl")
+        (out / "trace.meta.jsonl").unlink()
+        again = load_workload(out)
+        assert len(again.trace) == len(w.trace)
+        # CLF keeps whole seconds only, so some arrivals must move.
+        assert any(b.arrival != a.arrival
+                   for a, b in zip(w.trace, again.trace))
+
+    @pytest.mark.parametrize("corrupt", [
+        lambda p: p.write_text('{"kind": "something-else"}\n'),
+        lambda p: p.write_text("not json at all\n"),
+        lambda p: p.write_text(""),
+        # Truncation: drop the last data row, keep the header count.
+        lambda p: p.write_text(
+            "".join(p.read_text().splitlines(keepends=True)[:-1])),
+    ])
+    def test_corrupt_sidecar_warns_and_falls_back(self, tmp_path, caplog,
+                                                  corrupt):
+        import logging
+        w = self.make_workload()
+        out = save_workload(w, tmp_path / "wl")
+        corrupt(out / "trace.meta.jsonl")
+        with caplog.at_level(logging.WARNING, logger="repro.logs.store"):
+            again = load_workload(out)
+        assert "unusable trace sidecar" in caplog.text
+        assert len(again.trace) == len(w.trace)
+
+    def test_stale_sidecar_count_detected(self, tmp_path):
+        # The header count guards against the sidecar drifting out of
+        # sync with access.log (e.g. partial rewrite).
+        from repro.logs.store import _load_trace_meta
+        w = self.make_workload()
+        out = save_workload(w, tmp_path / "wl")
+        p = out / "trace.meta.jsonl"
+        p.write_text("".join(p.read_text().splitlines(keepends=True)[:-2]))
+        with pytest.raises(ValueError, match="truncated"):
+            _load_trace_meta(p, name="x")
+
+
+class TestDropAccounting:
+    def test_malformed_training_lines_logged(self, tmp_path, caplog):
+        import logging
+        w = synthetic_workload(scale=0.02)
+        out = save_workload(w, tmp_path / "wl")
+        with (out / "training.log").open("a") as fp:
+            fp.write("definitely not clf\n")
+        with caplog.at_level(logging.WARNING, logger="repro.logs.store"):
+            again = load_workload(out)
+        assert "malformed line(s) dropped" in caplog.text
+        assert "definitely not clf" in caplog.text
+        assert len(again.training_records) == len(w.training_records)
+
+    def test_clean_load_is_quiet(self, tmp_path, caplog):
+        import logging
+        w = synthetic_workload(scale=0.02)
+        out = save_workload(w, tmp_path / "wl")
+        with caplog.at_level(logging.WARNING, logger="repro.logs.store"):
+            load_workload(out)
+        assert caplog.text == ""
+
+    def test_stream_load_returns_source_with_stats(self, tmp_path):
+        from repro.logs import CLFSource
+        w = synthetic_workload(scale=0.02)
+        out = save_workload(w, tmp_path / "wl")
+        with (out / "training.log").open("a") as fp:
+            fp.write("junk\n")
+        again = load_workload(out, stream=True)
+        src = again.training_records
+        assert isinstance(src, CLFSource)
+        n = sum(1 for _ in src)
+        assert n == len(w.training_records)
+        assert src.stats.dropped == 1
+        assert src.stats.samples == ["junk"]

@@ -5,6 +5,8 @@ from hypothesis import given, strategies as st
 
 from repro.logs import (
     LogRecord,
+    StreamSessionizer,
+    iter_sessions,
     looks_embedded,
     page_sequences,
     sessionize,
@@ -87,6 +89,126 @@ class TestSessionize:
             times = [r.timestamp for r in s.records]
             assert times == sorted(times)
             assert all(b - a <= 500.0 for a, b in zip(times, times[1:]))
+
+
+def _key(s):
+    return (s.start, s.client)
+
+
+def _as_tuples(sessions):
+    # Same-client sessions cannot share a start (splits need a positive
+    # gap), so (client, start) orders deterministically on both paths.
+    return sorted(((s.client, s.records) for s in sessions),
+                  key=lambda cs: (cs[0], cs[1][0].timestamp))
+
+
+class TestStreamSessionizer:
+    def test_retires_after_timeout(self):
+        sz = StreamSessionizer(timeout=50)
+        assert sz.feed(rec("h", 0, "/a.html")) == []
+        retired = sz.feed(rec("h", 100, "/b.html"))
+        assert len(retired) == 1
+        assert retired[0].paths() == ["/a.html"]
+        assert len(sz) == 1  # the /b.html session is still open
+        (last,) = sz.flush()
+        assert last.paths() == ["/b.html"]
+        assert sz.sessions_emitted == 2
+
+    def test_gap_equal_timeout_stays_open(self):
+        # Strictly-greater split rule, same as batch sessionize.
+        sz = StreamSessionizer(timeout=50)
+        sz.feed(rec("h", 0, "/a.html"))
+        assert sz.feed(rec("h", 50, "/b.html")) == []
+        (s,) = sz.flush()
+        assert s.paths() == ["/a.html", "/b.html"]
+
+    def test_foreign_record_triggers_retirement(self):
+        sz = StreamSessionizer(timeout=50)
+        sz.feed(rec("idle", 0, "/a.html"))
+        retired = sz.feed(rec("busy", 200, "/b.html"))
+        assert [s.client for s in retired] == ["idle"]
+
+    def test_out_of_order_rejected(self):
+        sz = StreamSessionizer()
+        sz.feed(rec("h", 100, "/a.html"))
+        with pytest.raises(ValueError, match="time order"):
+            sz.feed(rec("h", 99, "/b.html"))
+
+    def test_failures_filtered_but_advance_clock(self):
+        sz = StreamSessionizer(timeout=50)
+        sz.feed(rec("h", 0, "/a.html"))
+        retired = sz.feed(rec("x", 200, "/nope.html", status=500))
+        assert [s.client for s in retired] == ["h"]
+        assert sz.flush() == []
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            StreamSessionizer(timeout=0)
+
+    def test_peak_open_tracks_working_set(self):
+        sz = StreamSessionizer(timeout=10)
+        for i in range(5):
+            sz.feed(rec(f"h{i}", i, "/p.html"))
+        assert sz.peak_open == 5
+        sz.feed(rec("late", 1000, "/p.html"))
+        assert len(sz) == 1
+        assert sz.peak_open == 5
+
+    def test_iter_sessions_generator(self):
+        recs = [rec("h", 0, "/a.html"), rec("h", 1000, "/b.html"),
+                rec("g", 1001, "/c.html")]
+        out = list(iter_sessions(recs, timeout=50))
+        assert _as_tuples(out) == _as_tuples(sessionize(recs, timeout=50))
+
+    # -- equivalence with the batch path ---------------------------------
+
+    # A tiny timestamp universe forces equal-timestamp ties; the offsets
+    # include gaps exactly equal to the timeout (10.0) on both sides of
+    # the strictly-greater split rule.
+    events_st = st.lists(
+        st.tuples(
+            st.sampled_from(["u1", "u2", "u3"]),
+            st.sampled_from([0.0, 1.0, 5.0, 9.5, 10.0, 10.5, 20.0, 21.0]),
+            st.sampled_from([200, 200, 200, 404]),
+        ),
+        min_size=1, max_size=80,
+    )
+
+    @given(events=events_st)
+    def test_property_stream_equals_batch(self, events):
+        # Feed in stable time-sorted order (a log file's natural order);
+        # batch sessionize sees the raw shuffled list.
+        base = 1_000.0
+        t = 0.0
+        recs = []
+        for i, (client, dt, status) in enumerate(events):
+            t += dt
+            recs.append(rec(client, base + t, f"/p{i}.html", status=status))
+        import random
+        shuffled = recs[:]
+        random.Random(len(recs)).shuffle(shuffled)
+
+        batch = sessionize(shuffled, timeout=10.0)
+        # Stable time-sort of the same shuffled list: equal-timestamp
+        # ties keep the order batch's per-client stable sort sees.
+        sz = StreamSessionizer(timeout=10.0)
+        streamed = []
+        for r in sorted(shuffled, key=lambda r: r.timestamp):
+            streamed.extend(sz.feed(r))
+        streamed.extend(sz.flush())
+        assert _as_tuples(streamed) == _as_tuples(batch)
+        assert sz.sessions_emitted == len(batch)
+
+    @given(events=events_st)
+    def test_property_successful_only_off(self, events):
+        base, t, recs = 1_000.0, 0.0, []
+        for i, (client, dt, status) in enumerate(events):
+            t += dt
+            recs.append(rec(client, base + t, f"/p{i}.html", status=status))
+        batch = sessionize(recs, timeout=10.0, successful_only=False)
+        streamed = list(iter_sessions(recs, timeout=10.0,
+                                      successful_only=False))
+        assert _as_tuples(streamed) == _as_tuples(batch)
 
 
 class TestPageSequences:

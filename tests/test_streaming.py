@@ -1,0 +1,154 @@
+"""End-to-end tests of the constant-memory streaming mining pipeline.
+
+The load-bearing claim: mining a workload through the one-pass fold
+(``CLFSource`` → ``StreamSessionizer`` → incremental miners) produces a
+:class:`MinedModels` that is field-for-field identical to the batch
+pipeline, on every workload preset and through every entry point
+(``mine_models_stream``, the ``mine_models`` dispatch, ``run_policy``
+over ``load_workload(..., stream=True)``, and the CLI).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.system import mine_models, run_policy
+from repro.logs import CLFSource, make_workload
+from repro.logs.store import load_workload, save_workload
+from repro.mining.fold import (
+    StreamingModelFold,
+    mine_models_stream,
+    models_equal,
+    models_fingerprint,
+)
+
+PRESET_SCALES = {
+    "synthetic": 0.02,
+    "cs-department": 0.05,
+    "worldcup": 0.01,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(PRESET_SCALES))
+def workload(request):
+    return make_workload(request.param, scale=PRESET_SCALES[request.param])
+
+
+class TestFoldEquivalence:
+    def test_stream_equals_batch(self, workload):
+        batch = mine_models(workload)
+        stream = mine_models_stream(iter(workload.training_records))
+        assert models_equal(batch, stream)
+        # Spot-check actual fields, not just the fingerprint.
+        assert stream.num_sessions == batch.num_sessions > 0
+        assert stream.num_sequences == batch.num_sequences > 0
+        assert stream.bundles.as_dict() == batch.bundles.as_dict()
+        assert sorted(stream.rank_table.items()) == \
+            sorted(batch.rank_table.items())
+
+    def test_ppm_kind(self, workload):
+        batch = mine_models(workload, predictor_kind="ppm")
+        stream = mine_models_stream(iter(workload.training_records),
+                                    predictor_kind="ppm")
+        assert models_equal(batch, stream)
+        assert not models_equal(batch, mine_models(workload))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="predictor_kind"):
+            StreamingModelFold(predictor_kind="nope")
+
+    def test_fold_single_use(self, workload):
+        fold = StreamingModelFold()
+        fold.add_records(iter(workload.training_records))
+        fold.finish()
+        with pytest.raises(RuntimeError, match="finished"):
+            fold.finish()
+        with pytest.raises(RuntimeError, match="finished"):
+            fold.add_record(workload.training_records[0])
+
+    def test_fingerprint_sensitivity(self, workload):
+        models = mine_models(workload)
+        fp = models_fingerprint(models)
+        assert fp == models_fingerprint(models)  # deterministic
+        bumped = dataclasses.replace(models,
+                                     num_sessions=models.num_sessions + 1)
+        assert models_fingerprint(bumped) != fp
+
+
+class TestStreamedWorkloads:
+    def test_mine_models_dispatches_on_record_stream(self, workload,
+                                                     tmp_path):
+        out = save_workload(workload, tmp_path / "wl")
+        streamed = load_workload(out, stream=True)
+        assert isinstance(streamed.training_records, CLFSource)
+        # Batch-load the same directory so both sides see the CLF
+        # whole-second timestamps.
+        batch = mine_models(load_workload(out))
+        via_dispatch = mine_models(streamed)
+        assert models_equal(batch, via_dispatch)
+
+    def test_run_policy_bit_identical(self, workload, tmp_path):
+        out = save_workload(workload, tmp_path / "wl")
+        a = run_policy(load_workload(out), "prord", cache_fraction=0.3)
+        b = run_policy(load_workload(out, stream=True), "prord",
+                       cache_fraction=0.3)
+        assert dataclasses.asdict(a.report) == dataclasses.asdict(b.report)
+
+    def test_model_cache_round_trip_streamed(self, workload, tmp_path):
+        from repro.mining.modelcache import cached_mine_models
+        out = save_workload(workload, tmp_path / "wl")
+        cache = tmp_path / "cache"
+        cold = cached_mine_models(load_workload(out, stream=True),
+                                  cache=cache)
+        warm = cached_mine_models(load_workload(out, stream=True),
+                                  cache=cache)
+        assert models_equal(cold, warm)
+
+
+class TestCLIStreaming:
+    @pytest.fixture()
+    def workload_dir(self, tmp_path):
+        wl = make_workload("synthetic", scale=0.02)
+        return str(save_workload(wl, tmp_path / "wl"))
+
+    def test_mine_stream_matches_batch_output(self, workload_dir, capsys):
+        log = workload_dir + "/training.log"
+        assert cli_main(["mine", log]) == 0
+        batch_out = capsys.readouterr().out
+        assert cli_main(["mine", log, "--stream"]) == 0
+        stream_out = capsys.readouterr().out
+        # Identical mined numbers: same top-files table, same graph line.
+        assert batch_out.split("top files by hits:")[1] == \
+            stream_out.split("top files by hits:")[1]
+        graph_line = next(l for l in batch_out.splitlines()
+                          if l.startswith("dependency graph"))
+        assert graph_line in stream_out
+        assert "(streamed)" in stream_out
+
+    def test_mine_notes_dropped_lines(self, workload_dir, capsys):
+        log = workload_dir + "/training.log"
+        with open(log, "a") as fp:
+            fp.write("this is not clf\n")
+        for extra in ([], ["--stream"]):
+            assert cli_main(["mine", log, *extra]) == 0
+            out = capsys.readouterr().out
+            assert "malformed line(s) dropped" in out
+            assert "this is not clf" in out
+
+    def test_replay_stream_and_batch_agree(self, workload_dir, capsys):
+        assert cli_main(["replay", workload_dir, "--policy", "lard"]) == 0
+        batch_out = capsys.readouterr().out
+        assert cli_main(["replay", workload_dir, "--policy", "lard",
+                         "--stream"]) == 0
+        stream_out = capsys.readouterr().out
+        assert batch_out == stream_out
+        assert "thr=" in batch_out
+
+    def test_workload_dir_is_replayable(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "gen")
+        assert cli_main(["workload", "synthetic", "--scale", "0.02",
+                         "--out-dir", out_dir]) == 0
+        capsys.readouterr()
+        assert cli_main(["replay", out_dir, "--policy", "wrr"]) == 0
+        assert "wrr" in capsys.readouterr().out
