@@ -11,6 +11,17 @@ Modes::
     _mem_child.py base                                 # import-only floor
     _mem_child.py batch  <log-path>                    # materialized mining
     _mem_child.py stream <log-path>                    # one-pass fold mining
+    _mem_child.py genwl  <dir> <preset> <scale>        # save a workload dir
+    _mem_child.py replay <dir> batch|stream            # end-to-end run_policy
+
+The ``replay`` modes measure the full evaluation path: load a saved
+workload (materialized lists vs lazy ``CLFSource`` +
+``SidecarRequestSource``) and drive ``run_policy`` over it.  The policy
+is ``lard`` — it never mines, so the measurement isolates the trace and
+training-log footprint rather than re-measuring the mining pipelines
+above.  Each replay child also prints its simulation report so the
+parent can assert batch and streamed replays are field-for-field
+identical *across processes*.
 
 ``stretch`` multiplies the log's time axis.  The synthetic presets
 compress a huge request count into minutes of simulated time — shorter
@@ -32,12 +43,14 @@ import sys
 from pathlib import Path
 
 # The same imports in every mode, so the `base` floor is honest.
-from repro.core.system import mine_models
+from repro.core.system import mine_models, run_policy
 from repro.logs.clf import CLFSource, ParseStats, read_log, write_log
 from repro.logs.records import Trace
 from repro.logs.site import Website
-from repro.logs.workloads import Workload, training_log_records
+from repro.logs.store import load_workload, save_workload
+from repro.logs.workloads import Workload, make_workload, training_log_records
 from repro.mining.fold import mine_models_stream, models_fingerprint
+from repro.sim.differential import report_fields
 
 
 def _peak_rss_kb() -> int:
@@ -101,6 +114,25 @@ def mode_stream(path: Path) -> None:
     })
 
 
+def mode_genwl(directory: Path, preset: str, scale: float) -> None:
+    workload = make_workload(preset, scale=scale)
+    save_workload(workload, directory)
+    _emit({"mode": "genwl", "requests": len(workload.trace),
+           "records": len(workload.training_records)})
+
+
+def mode_replay(directory: Path, variant: str) -> None:
+    if variant not in ("batch", "stream"):
+        raise SystemExit(f"unknown replay variant {variant!r}")
+    workload = load_workload(directory, stream=(variant == "stream"))
+    result = run_policy(workload, "lard")
+    _emit({
+        "mode": f"replay-{variant}",
+        "requests": len(workload.trace),
+        "report": report_fields(result),
+    })
+
+
 def main(argv: list[str]) -> int:
     mode = argv[0]
     if mode == "genlog":
@@ -111,6 +143,10 @@ def main(argv: list[str]) -> int:
         mode_batch(Path(argv[1]))
     elif mode == "stream":
         mode_stream(Path(argv[1]))
+    elif mode == "genwl":
+        mode_genwl(Path(argv[1]), argv[2], float(argv[3]))
+    elif mode == "replay":
+        mode_replay(Path(argv[1]), argv[2])
     else:
         raise SystemExit(f"unknown mode {mode!r}")
     return 0

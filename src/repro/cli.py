@@ -37,6 +37,15 @@ def _note_drops(stats: ParseStats, path: Path) -> None:
         print(f"note: {path}: {stats.summary()}")
 
 
+def _sampler_from_args(args: argparse.Namespace):
+    """Build the deterministic per-client sampler for ``--sample``."""
+    from .logs.sampling import ClientSampler
+    try:
+        return ClientSampler(args.sample, args.sample_seed)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _load_records(path: Path) -> list[LogRecord]:
     from .logs.validate import validate_records
     stats = ParseStats()
@@ -89,6 +98,17 @@ def cmd_mine(args: argparse.Namespace) -> int:
     if args.stream:
         return _cmd_mine_stream(args, path)
     records = _load_records(path)
+    if args.sample is not None:
+        sampler = _sampler_from_args(args)
+        total = len(records)
+        records = list(sampler.sample_records(records))
+        if not records:
+            raise SystemExit(
+                f"error: {sampler.describe()} kept none of the "
+                f"{total} records; raise the rate or change the seed"
+            )
+        print(f"note: {sampler.describe()}: kept {len(records)} of "
+              f"{total} records")
     sessions = sessionize(records, timeout=args.session_timeout)
     sequences = page_sequences(sessions, min_length=2)
     graph = DependencyGraph(order=args.order).train(sequences)
@@ -121,24 +141,40 @@ def _cmd_mine_stream(args: argparse.Namespace, path: Path) -> int:
     The log is never materialized: records stream off disk through the
     incremental sessionizer into the fold.  Same models, same report —
     plus the streaming working-set numbers batch mining cannot give.
+    ``--sample`` filters whole clients on the fly with the same
+    deterministic sampler as the batch path.
     """
-    from .logs.clf import iter_log
+    from .logs.clf import CLFSource
     from .mining.fold import StreamingModelFold
 
+    if args.sample is not None:
+        _sampler_from_args(args)  # validate the rate before the pass
+    source = CLFSource(path, sample_rate=args.sample,
+                       sample_seed=args.sample_seed)
     fold = StreamingModelFold(
         SimulationParams(depgraph_order=args.order),
         timeout=args.session_timeout,
     )
-    stats = ParseStats()
     try:
-        fold.add_records(iter_log(path, stats=stats))
+        fold.add_records(iter(source))
     except ValueError as exc:
         raise SystemExit(
             f"error: {path} is not in time order ({exc}); "
             "sort it or use batch mining (drop --stream)"
         )
+    stats = source.stats
     _note_drops(stats, path)
+    if source.sampler is not None:
+        print(f"note: {source.sampler.describe()}: kept "
+              f"{fold.records_seen} of "
+              f"{fold.records_seen + source.sampled_out} records")
     if fold.records_seen == 0:
+        if source.sampled_out:
+            raise SystemExit(
+                f"error: {source.sampler.describe()} kept none of the "
+                f"{source.sampled_out} records; raise the rate or "
+                "change the seed"
+            )
         raise SystemExit(f"error: no parsable CLF lines in {path}")
     peak_open = fold.peak_open_sessions
     models = fold.finish()
@@ -204,12 +240,26 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
     Unlike ``simulate`` (which splits one raw CLF file), this consumes a
     ``repro workload`` / ``save_workload`` directory: the site model and
-    the exact evaluation trace come back from disk, and ``--stream``
-    mines the training log in one constant-memory pass instead of
-    loading it.
+    the exact evaluation trace come back from disk.  ``--stream`` keeps
+    the whole run constant-memory — the training log is mined in one
+    pass and the evaluation trace streams straight into the simulator
+    (results are bit-identical to the materialized run).  ``--sample``
+    replays a deterministic per-client subsample of the workload.
     """
     from .logs.store import load_workload
-    workload = load_workload(Path(args.workload_dir), stream=args.stream)
+    workload_dir = Path(args.workload_dir)
+    try:
+        workload = load_workload(
+            workload_dir, stream=args.stream,
+            sample_rate=args.sample, sample_seed=args.sample_seed,
+        )
+    except FileNotFoundError as exc:
+        raise SystemExit(
+            f"error: {workload_dir} is not a saved workload directory "
+            f"({exc})"
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     params = _params_from_args(args)
     cache_fraction = None if args.cache_mb is not None else args.cache_fraction
     result = run_policy(workload, args.policy, params,
@@ -218,6 +268,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
         stats = workload.training_records.stats
         if stats.dropped:
             print(f"note: training.log: {stats.summary()}")
+    if args.sample is not None:
+        from .logs.sampling import ClientSampler
+        sampler = ClientSampler(args.sample, args.sample_seed)
+        print(f"note: {sampler.describe()}: replayed "
+              f"{len(workload.trace)} evaluation requests")
     _print_result(result)
     return 0
 
@@ -435,6 +490,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for training.log / access.log")
     p.set_defaults(func=cmd_workload)
 
+    def add_sample_options(p):
+        p.add_argument("--sample", type=float, metavar="RATE", default=None,
+                       help="deterministic per-client sampling: keep each "
+                            "client's whole stream with probability RATE "
+                            "in (0, 1]; same rate and seed always select "
+                            "the same clients")
+        p.add_argument("--sample-seed", type=int, default=0,
+                       help="seed selecting which clients --sample keeps "
+                            "(default 0)")
+
     p = sub.add_parser("mine", help="mine a CLF log file")
     p.add_argument("logfile")
     p.add_argument("--order", type=int, default=2,
@@ -446,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stream", action="store_true",
                    help="one-pass constant-memory mining (log must be in "
                         "time order; same models as batch)")
+    add_sample_options(p)
     p.set_defaults(func=cmd_mine)
 
     def add_audit_option(p):
@@ -475,8 +541,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "training.log + access.log)")
     p.add_argument("--policy", choices=POLICY_NAMES, default="prord")
     p.add_argument("--stream", action="store_true",
-                   help="mine the training log in one constant-memory "
-                        "pass (results are identical either way)")
+                   help="constant-memory run: mine the training log in "
+                        "one pass and stream the evaluation trace into "
+                        "the simulator (results are identical either "
+                        "way)")
+    add_sample_options(p)
     p.add_argument("--backends", type=int, default=8)
     p.add_argument("--cache-mb", type=float, default=None,
                    help="per-server cache in MB (overrides "

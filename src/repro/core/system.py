@@ -40,6 +40,7 @@ from ..sim.cluster import ClusterSimulator, SimulationResult
 from .config import SimulationParams
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..logs.replay import RequestSource
     from ..mining.modelcache import ModelCache
     from ..obs.profiler import PhaseProfiler
 
@@ -316,15 +317,23 @@ def build_policy(
     raise ValueError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
 
 
-def offered_rps(trace: Trace) -> float:
-    """Offered load of a trace in requests per second."""
+def offered_rps(trace: "Trace | RequestSource") -> float:
+    """Offered load of a trace (materialized or streamed) in requests
+    per second."""
     if trace.duration <= 0:
         return float(len(trace))
     return len(trace) / trace.duration
 
 
-def scale_to_offered_load(trace: Trace, target_rps: float) -> Trace:
-    """Compress/stretch a trace so it offers ``target_rps``."""
+def scale_to_offered_load(
+    trace: "Trace | RequestSource", target_rps: float
+) -> "Trace | RequestSource":
+    """Compress/stretch a trace so it offers ``target_rps``.
+
+    A materialized :class:`Trace` is rebuilt; a streamed
+    :class:`~repro.logs.replay.RequestSource` gets a lazy scaled view
+    with bit-identical per-arrival arithmetic.
+    """
     if target_rps <= 0:
         raise ValueError("target_rps must be positive")
     current = offered_rps(trace)
@@ -391,6 +400,15 @@ def run_policy(
     skipped entirely on a hit.  Cached and freshly-mined runs are
     bit-identical because :class:`MinedModels` is a pure function of
     exactly the inputs the cache key hashes.
+
+    When ``workload.trace`` is a lazy
+    :class:`~repro.logs.replay.RequestSource` (from
+    ``load_workload(..., stream=True)``) the whole replay streams —
+    arrivals are pulled through the simulator's bounded lookahead
+    window and the trace is never materialized; the resulting
+    :class:`SimulationReport` is field-for-field identical to the
+    materialized run (the streamed-replay differential check proves
+    it on every preset).
     """
     tel = None
     profiler = None

@@ -13,6 +13,13 @@ from .clf import (
     write_log,
 )
 from .records import LogRecord, Request, Trace
+from .replay import (
+    RequestSource,
+    ScaledRequestSource,
+    SidecarRequestSource,
+    TraceSummary,
+)
+from .sampling import ClientSampler, request_client_key
 from .sessions import (
     DEFAULT_SESSION_TIMEOUT,
     Session,
@@ -50,6 +57,9 @@ __all__ = [
     "format_line", "iter_log", "parse_line", "parse_lines",
     "read_log", "write_log",
     "LogRecord", "Request", "Trace",
+    "RequestSource", "ScaledRequestSource", "SidecarRequestSource",
+    "TraceSummary",
+    "ClientSampler", "request_client_key",
     "DEFAULT_SESSION_TIMEOUT", "Session", "StreamSessionizer",
     "iter_sessions", "looks_dynamic", "looks_embedded",
     "page_sequences", "sessionize", "trace_from_records",

@@ -372,16 +372,53 @@ class CLFSource(RecordStream):
     always describes the *latest completed or in-progress* pass, so
     after one full iteration the dropped-line count of the file is
     available without ever holding the records in memory.
+
+    ``sample_rate`` applies deterministic per-client sampling
+    (:class:`~repro.logs.sampling.ClientSampler`): a host's records are
+    all kept or all dropped, decided purely by ``(sample_seed,
+    sample_rate, host)`` — identical across re-iterations, gzip vs
+    plain storage, and record order.  Sampled-out records are counted
+    in ``sampled_out`` (per pass), separately from parse drops.
     """
 
-    def __init__(self, path: Path | str, *, strict: bool = False) -> None:
+    def __init__(
+        self,
+        path: Path | str,
+        *,
+        strict: bool = False,
+        sample_rate: float | None = None,
+        sample_seed: int = 0,
+    ) -> None:
+        from .sampling import ClientSampler  # local: avoid import cycle
+
         self.path = Path(path)
         self.strict = strict
         self.stats = ParseStats()
+        self.sampler = (
+            ClientSampler(sample_rate, sample_seed)
+            if sample_rate is not None else None
+        )
+        #: Records dropped by client sampling in the latest pass.
+        self.sampled_out = 0
 
     def __iter__(self) -> Iterator[LogRecord]:
         self.stats.reset()
-        return iter_log(self.path, strict=self.strict, stats=self.stats)
+        self.sampled_out = 0
+        records = iter_log(self.path, strict=self.strict, stats=self.stats)
+        if self.sampler is None:
+            return records
+        return self._sampled(records)
+
+    def _sampled(self, records: Iterator[LogRecord]) -> Iterator[LogRecord]:
+        keep = self.sampler.keep
+        for rec in records:
+            if keep(rec.host):
+                yield rec
+            else:
+                self.sampled_out += 1
 
     def __repr__(self) -> str:
-        return f"CLFSource({str(self.path)!r}, strict={self.strict})"
+        extra = (
+            f", sampler={self.sampler}" if self.sampler is not None else ""
+        )
+        return f"CLFSource({str(self.path)!r}, strict={self.strict}{extra})"

@@ -14,6 +14,7 @@ Two levels of representation are used throughout:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -172,6 +173,15 @@ class Trace:
         if not self._requests:
             return 0.0
         return self._requests[-1].arrival - self._requests[0].arrival
+
+    @property
+    def start(self) -> float:
+        """First arrival time (0 for empty traces)."""
+        return self._requests[0].arrival if self._requests else 0.0
+
+    def connection_counts(self) -> Counter:
+        """Requests per connection id."""
+        return Counter(r.conn_id for r in self._requests)
 
     def connection_ids(self) -> list[int]:
         """Distinct connection ids, in first-appearance order."""

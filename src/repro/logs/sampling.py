@@ -1,0 +1,114 @@
+"""Deterministic per-client trace sampling.
+
+Replaying or mining a WorldCup-class log end to end is the fidelity
+mode; iterating on policy parameters wants a *representative fraction*
+of it.  Sampling individual records would shred exactly the structure
+the miners and the simulator care about — sessions, navigation
+sequences, persistent connections — so the unit of sampling here is the
+**client**: a client's whole request stream is either kept or dropped.
+
+The keep/drop decision is a pure function of ``(seed, rate, client)``:
+
+* ``hash64(seed, client) < rate * 2^64`` with a keyed BLAKE2b digest —
+  **seed-stable** across processes and Python versions (never the
+  builtin randomized ``hash``);
+* independent of record order, chunking, gzip-vs-plain storage, and
+  re-iteration — the property tests feed the same log every way and
+  require the identical client subset;
+* monotone in ``rate``: the clients kept at rate *r* are a subset of
+  those kept at any rate above *r*, so widening a sample only adds
+  clients, never swaps them.
+
+Both record streams (``LogRecord``, keyed by ``host``) and simulator
+request streams (``Request``, keyed by :func:`request_client_key`) can
+be filtered; ``sample_rate`` on :class:`~repro.logs.clf.CLFSource` and
+:class:`~repro.logs.replay.SidecarRequestSource` and the ``--sample``
+CLI flags all route through :class:`ClientSampler`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .records import LogRecord, Request
+
+__all__ = [
+    "ClientSampler",
+    "request_client_key",
+]
+
+_HASH_BITS = 64
+_HASH_SPACE = 1 << _HASH_BITS
+
+
+def _client_hash(seed: int, client: str) -> int:
+    """A stable 64-bit hash of ``client`` under ``seed``."""
+    digest = hashlib.blake2b(
+        client.encode("utf-8", "surrogateescape"),
+        digest_size=_HASH_BITS // 8,
+        key=str(seed).encode(),
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def request_client_key(req: "Request") -> str:
+    """The sampling key of a simulator request.
+
+    Uses the client host when known; anonymous requests fall back to
+    ``c<conn_id>`` — the same synthetic host :func:`save_workload`
+    writes into ``access.log``, so sampling a sidecar stream and
+    sampling the re-emitted CLF select the same connections.
+    """
+    return req.client if req.client != "-" else f"c{req.conn_id}"
+
+
+@dataclass(frozen=True, slots=True)
+class ClientSampler:
+    """Keeps or drops whole clients, deterministically.
+
+    ``rate`` is the expected fraction of clients kept, in ``(0, 1]``
+    (``1.0`` keeps everything, bit-exactly — no float edge cases).
+    ``seed`` selects an independent subset; the same ``(rate, seed)``
+    always selects the same clients.
+    """
+
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(
+                f"sample rate must be in (0, 1], got {self.rate}"
+            )
+
+    @property
+    def _threshold(self) -> int:
+        return int(self.rate * _HASH_SPACE)
+
+    def keep(self, client: str) -> bool:
+        """Whether ``client``'s stream survives this sample."""
+        if self.rate >= 1.0:
+            return True
+        return _client_hash(self.seed, client) < self._threshold
+
+    def sample_records(
+        self, records: Iterable["LogRecord"]
+    ) -> Iterator["LogRecord"]:
+        """Filter a log-record stream by ``host``."""
+        keep = self.keep
+        return (rec for rec in records if keep(rec.host))
+
+    def sample_requests(
+        self, requests: Iterable["Request"]
+    ) -> Iterator["Request"]:
+        """Filter a simulator-request stream by client key."""
+        keep = self.keep
+        return (
+            req for req in requests if keep(request_client_key(req))
+        )
+
+    def describe(self) -> str:
+        return f"per-client sample rate {self.rate:g} (seed {self.seed})"

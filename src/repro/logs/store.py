@@ -24,7 +24,13 @@ import logging
 from pathlib import Path
 
 from .clf import CLFSource, ParseStats, read_log, write_log
-from .records import LogRecord, Request, Trace
+from .records import LogRecord, Trace
+from .replay import (
+    SidecarRequestSource,
+    read_sidecar_header,
+    request_from_row,
+)
+from .sampling import ClientSampler
 from .sessions import trace_from_records
 from .site import Category, EmbeddedObject, Page, Website
 from .workloads import Workload
@@ -156,31 +162,23 @@ def _save_trace_meta(trace: Trace, path: Path) -> None:
             fp.write(json.dumps(row) + "\n")
 
 
-def _load_trace_meta(path: Path, *, name: str) -> Trace:
+def _load_trace_meta(
+    path: Path,
+    *,
+    name: str,
+    sampler: ClientSampler | None = None,
+) -> Trace:
     """Rebuild the exact trace from the sidecar (raises on any defect)."""
     with path.open() as fp:
-        header = json.loads(fp.readline())
-        if (header.get("kind") != "prord-trace-meta"
-                or header.get("format_version") != _FORMAT_VERSION):
-            raise ValueError(f"unrecognized trace sidecar header: {header!r}")
-        requests = [
-            Request(
-                arrival=float(row["a"]),
-                conn_id=int(row["c"]),
-                path=row["p"],
-                size=int(row["s"]),
-                is_embedded=bool(row["e"]),
-                parent=row["pa"],
-                client=row["cl"],
-                dynamic=bool(row["d"]),
-            )
-            for row in map(json.loads, fp)
-        ]
+        header = read_sidecar_header(fp.readline())
+        requests = [request_from_row(row) for row in map(json.loads, fp)]
     if len(requests) != header["n"]:
         raise ValueError(
             f"trace sidecar truncated: header says {header['n']} requests, "
             f"found {len(requests)}"
         )
+    if sampler is not None:
+        requests = list(sampler.sample_requests(requests))
     return Trace(requests, name=name)
 
 
@@ -194,6 +192,8 @@ def load_workload(
     name: str | None = None,
     *,
     stream: bool = False,
+    sample_rate: float | None = None,
+    sample_seed: int = 0,
 ) -> Workload:
     """Load a workload saved by :func:`save_workload`.
 
@@ -204,11 +204,24 @@ def load_workload(
     and flags come from extension heuristics; a corrupt or stale sidecar
     logs a warning and falls back the same way.
 
-    ``stream=True`` returns the training log as a re-iterable
-    :class:`~repro.logs.clf.CLFSource` instead of a materialized list,
-    so mining can run in constant memory (see
-    :func:`repro.mining.fold.mine_models_stream`); the evaluation trace
-    is still materialized — the simulator needs it all.
+    ``stream=True`` keeps the workload lazy end to end: the training log
+    becomes a re-iterable :class:`~repro.logs.clf.CLFSource` (mining runs
+    one-pass via :func:`repro.mining.fold.mine_models_stream`) and the
+    evaluation trace a :class:`~repro.logs.replay.SidecarRequestSource`
+    streamed straight into the simulator's arrival pump — a full replay
+    never materializes the requests, and produces bit-identical results
+    to the materialized path.  Streamed evaluation requires the sidecar
+    (only it preserves exact arrivals and connection structure); when
+    the sidecar is unusable the evaluation trace is materialized via the
+    CLF heuristics with a WARNING, same as the batch path.
+
+    ``sample_rate`` applies deterministic per-client sampling
+    (:class:`~repro.logs.sampling.ClientSampler`, seeded by
+    ``sample_seed``) to *both* logs: a client's whole session stream is
+    kept or dropped, so mined models and replays stay structurally
+    representative, and batch and streamed loads of the same sampled
+    workload stay bit-identical.  Raises ``ValueError`` if sampling
+    leaves an empty evaluation trace.
 
     Malformed log lines are never silently discarded: drop counts (with
     samples) are logged at WARNING level on the materialized paths, and
@@ -216,34 +229,63 @@ def load_workload(
     """
     directory = Path(directory)
     site = load_site(directory / "site.json")
+    sampler = (
+        ClientSampler(sample_rate, sample_seed)
+        if sample_rate is not None else None
+    )
     training_path = directory / "training.log"
     if stream:
-        training: "list[LogRecord] | CLFSource" = CLFSource(training_path)
+        training: "list[LogRecord] | CLFSource" = CLFSource(
+            training_path, sample_rate=sample_rate, sample_seed=sample_seed,
+        )
     else:
         stats = ParseStats()
         with training_path.open() as fp:
             training = read_log(fp, strict=False, stats=stats)
         _warn_drops(stats, training_path)
+        if sampler is not None:
+            training = list(sampler.sample_records(training))
 
     meta_path = directory / TRACE_META_NAME
     trace_name = f"{name or site.name}-eval"
-    trace: Trace | None = None
+    trace: "Trace | SidecarRequestSource | None" = None
     if meta_path.exists():
         try:
-            trace = _load_trace_meta(meta_path, name=trace_name)
+            if stream:
+                trace = SidecarRequestSource(
+                    meta_path, name=trace_name,
+                    sample_rate=sample_rate, sample_seed=sample_seed,
+                )
+            else:
+                trace = _load_trace_meta(
+                    meta_path, name=trace_name, sampler=sampler,
+                )
         except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
             logger.warning(
                 "%s: unusable trace sidecar (%s); falling back to CLF "
                 "heuristics", meta_path, exc,
             )
     if trace is None:
+        if stream:
+            logger.warning(
+                "%s: streamed evaluation requires the trace sidecar; "
+                "materializing the heuristic trace instead",
+                directory / "access.log",
+            )
         access_path = directory / "access.log"
         stats = ParseStats()
         with access_path.open() as fp:
             eval_records = read_log(fp, strict=False, stats=stats)
         _warn_drops(stats, access_path)
+        if sampler is not None:
+            eval_records = list(sampler.sample_records(eval_records))
         if not eval_records:
             raise ValueError(f"no evaluation records in {directory}")
         trace = trace_from_records(eval_records, name=trace_name)
+    if sampler is not None and len(trace) == 0:
+        raise ValueError(
+            f"{sampler.describe()} left no evaluation requests in "
+            f"{directory}; raise the rate or change the seed"
+        )
     return Workload(name=name or site.name, site=site,
                     training_records=training, trace=trace)

@@ -24,6 +24,7 @@ from typing import Sequence
 
 from .clf import RecordStream
 from .records import LogRecord, Trace
+from .replay import RequestSource
 from .sessions import trace_from_records
 from .site import SiteSpec, Website, build_site
 from .synthetic import TraceGenerator, TrafficSpec
@@ -46,13 +47,16 @@ class Workload:
     ``training_records`` is usually a materialized list; workloads loaded
     with ``load_workload(..., stream=True)`` carry a re-iterable
     :class:`~repro.logs.clf.RecordStream` instead, and mining then runs
-    in one constant-memory pass.
+    in one constant-memory pass.  Likewise ``trace`` is usually a
+    materialized :class:`Trace` but may be a lazy re-iterable
+    :class:`~repro.logs.replay.RequestSource` (streamed loads), which
+    the simulator replays bit-identically without holding the requests.
     """
 
     name: str
     site: Website
     training_records: Sequence[LogRecord] | RecordStream
-    trace: Trace
+    trace: Trace | RequestSource
 
     @property
     def num_requests(self) -> int:

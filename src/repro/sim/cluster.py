@@ -23,6 +23,13 @@ pushes each arrival with a sequence number pre-reserved from the block
 an eager scheduler would have used, which makes the event order — and
 therefore every result — bit-identical to eager scheduling; the
 property tests replay random traces under both modes to prove it.
+
+The pump pulls from an iterator, so the trace may be a materialized
+:class:`~repro.logs.records.Trace` *or* a lazy re-iterable
+:class:`~repro.logs.replay.RequestSource` — with a source, a full
+replay holds O(window) requests instead of the whole trace, and the
+results are bit-identical (the streamed-replay differential check and
+``tests/test_streamed_replay.py`` prove it).
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from typing import TYPE_CHECKING, Mapping, Protocol, runtime_checkable
 
 from ..core.config import SimulationParams
 from ..logs.records import Request, Trace
+from ..logs.replay import RequestSource
 from ..policies.base import Policy, RoutingDecision
 from .audit import AuditSummary, SimulationAuditor
 from .engine import Resource, Simulator
@@ -77,31 +85,35 @@ class _ArrivalPump:
       before its due time and the calendar cannot drain early.
 
     The pump is one object and one bound method for the whole trace —
-    arrivals are recreated relative to trace start lazily, and the
-    pending window rides a deque (fired in trace order by construction).
+    arrivals are pulled from the trace iterator one at a time (so a lazy
+    :class:`~repro.logs.replay.RequestSource` is never materialized),
+    recreated relative to trace start lazily, and the pending window
+    rides a deque (fired in trace order by construction).
     """
 
-    __slots__ = ("cluster", "requests", "base_seq", "next_index", "pending")
+    __slots__ = ("cluster", "_it", "total", "base_seq", "next_index",
+                 "pending")
 
     def __init__(
         self,
         cluster: "ClusterSimulator",
-        trace: Trace,
+        trace: "Trace | RequestSource",
         base_seq: int,
         window: int,
     ) -> None:
         self.cluster = cluster
-        self.requests = trace.requests
+        self._it = iter(trace)
+        self.total = len(trace)
         self.base_seq = base_seq
         self.next_index = 0
         self.pending: deque[Request] = deque()
-        for _ in range(min(window, len(self.requests))):
+        for _ in range(min(window, self.total)):
             self._push_next()
 
     def _push_next(self) -> None:
         i = self.next_index
         self.next_index = i + 1
-        req = self.requests[i]
+        req = next(self._it)
         t0 = self.cluster._t0
         if t0 != 0.0:
             # Rebase to trace start.  Direct construction, not
@@ -115,7 +127,7 @@ class _ArrivalPump:
             req.arrival, self.base_seq + i, self._fire)
 
     def _fire(self) -> None:
-        if self.next_index < len(self.requests):
+        if self.next_index < self.total:
             self._push_next()
         self.cluster._on_arrival(self.pending.popleft())
 
@@ -217,7 +229,10 @@ class ClusterSimulator:
     Parameters
     ----------
     trace:
-        Evaluation trace (arrival times set the offered load).
+        Evaluation trace (arrival times set the offered load) — a
+        materialized :class:`Trace` or a lazy re-iterable
+        :class:`~repro.logs.replay.RequestSource`; both replay
+        bit-identically, the source without ever holding the requests.
     policy:
         A bound-on-construction :class:`~repro.policies.base.Policy`.
     params:
@@ -239,7 +254,7 @@ class ClusterSimulator:
 
     def __init__(
         self,
-        trace: Trace | None,
+        trace: Trace | RequestSource | None,
         policy: Policy,
         params: SimulationParams | None = None,
         *,
@@ -317,8 +332,13 @@ class ClusterSimulator:
         self._explicit_close = trace is None
         self._closing: set[int] = set()
         if trace is not None:
-            self._remaining_per_conn.update(r.conn_id for r in trace)
-            self._t0 = trace[0].arrival
+            # Full per-connection request counts, known before the first
+            # event: a connection's close hook fires when its *last*
+            # request completes, which no bounded-lookahead stream could
+            # learn in time.  Trace and RequestSource both supply the
+            # counts from summary state, not a second request pass.
+            self._remaining_per_conn.update(trace.connection_counts())
+            self._t0 = trace.start
         else:
             self._t0 = 0.0
         self._ran = False

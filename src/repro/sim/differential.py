@@ -27,7 +27,15 @@ contracts the paper's PRORD-vs-LARD comparisons silently assume:
   :class:`~repro.core.system.MinedModels` whose canonical fingerprint
   equals the batch pipeline's, for both predictor kinds.  Any
   divergence means the streaming pipeline mines different models than
-  the figures were generated from.
+  the figures were generated from;
+* **streamed-replay equivalence** — ``run_policy`` over a workload
+  loaded with ``stream=True`` (training log a lazy ``CLFSource``,
+  evaluation trace a lazy
+  :class:`~repro.logs.replay.SidecarRequestSource` pulled through the
+  arrival pump) must produce a report field-for-field identical to the
+  fully materialized run, on every preset.  Any divergence means
+  constant-memory replays no longer measure the same system the
+  figures do.
 
 Run the whole battery with :func:`run_differential_suite` (CLI:
 ``python -m repro differential``).
@@ -56,6 +64,7 @@ __all__ = [
     "check_telemetry_transparency",
     "check_grid_parallel",
     "check_streamed_mining",
+    "check_streamed_replay",
     "run_differential_suite",
 ]
 
@@ -355,6 +364,60 @@ def check_streamed_mining(
     )
 
 
+#: Preset scales for the streamed-replay check: small enough to run in
+#: CI, large enough to exercise thousands of requests per preset.
+_REPLAY_PRESET_SCALES = {
+    "synthetic": 0.02,
+    "cs-department": 0.05,
+    "worldcup": 0.01,
+}
+
+
+def check_streamed_replay(
+    params: "SimulationParams | None" = None,
+    *,
+    policy_name: str = "prord",
+    preset_scales: dict[str, float] | None = None,
+) -> DifferentialCheck:
+    """Streamed ``run_policy`` must equal the materialized run exactly.
+
+    For every preset: save the workload, load it back twice — once
+    materialized, once with ``stream=True`` (lazy training log + lazy
+    sidecar-streamed evaluation trace) — run the policy over both, and
+    require the two reports field-for-field identical.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..core.system import run_policy
+    from ..logs.store import load_workload, save_workload
+    from ..logs.workloads import make_workload
+
+    name = "streamed-replay"
+    preset_scales = preset_scales or _REPLAY_PRESET_SCALES
+    total_requests = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for preset, scale in preset_scales.items():
+            out = Path(tmp) / preset
+            save_workload(make_workload(preset, scale=scale), out)
+            batch = load_workload(out)
+            streamed = load_workload(out, stream=True)
+            a = run_policy(batch, policy_name, params)
+            b = run_policy(streamed, policy_name, params)
+            check = _compare(
+                name, report_fields(a), report_fields(b),
+                f"{policy_name} materialized vs streamed on {preset}",
+            )
+            if not check.passed:
+                return check
+            total_requests += len(batch.trace)
+    return DifferentialCheck(
+        name, True,
+        f"{policy_name} materialized == streamed on "
+        f"{'/'.join(preset_scales)} ({total_requests} requests total)",
+    )
+
+
 # -- the battery --------------------------------------------------------------
 
 
@@ -369,6 +432,7 @@ def run_differential_suite(
     """Run the whole differential battery over one workload.
 
     Degenerate equivalence, streamed-vs-batch mining equivalence,
+    streamed-vs-materialized replay equivalence (all presets),
     per-policy determinism, audit and telemetry transparency, and
     (``jobs >= 2``) serial-vs-pool grid equivalence.
     """
@@ -379,6 +443,7 @@ def run_differential_suite(
     checks: list[DifferentialCheck] = [
         check_degenerate_prord(workload, scale, params),
         check_streamed_mining(workload, params),
+        check_streamed_replay(params),
     ]
     for policy_name in policies:
         checks.append(

@@ -1,0 +1,137 @@
+"""Direct tests for the ``repro replay`` and sampled ``repro mine``
+subcommands: exit codes, ``--stream``/``--sample`` flags, report output,
+and drop-note surfacing."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workload_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("replaytest")
+    rc = main(["workload", "synthetic", "--scale", "0.02",
+               "--out-dir", str(d)])
+    assert rc == 0
+    return d
+
+
+def _report_lines(out: str) -> list[str]:
+    """The simulation-report portion of the output (notes stripped)."""
+    return [line for line in out.splitlines()
+            if not line.startswith("note:")]
+
+
+class TestReplayCommand:
+    def test_replay_lard(self, workload_dir, capsys):
+        rc = main(["replay", str(workload_dir), "--policy", "lard"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lard on" in out
+        assert "completed" in out
+        assert "p95 response" in out
+
+    def test_streamed_replay_output_identical(self, workload_dir, capsys):
+        rc = main(["replay", str(workload_dir), "--policy", "prord"])
+        batch_out = capsys.readouterr().out
+        assert rc == 0
+        rc = main(["replay", str(workload_dir), "--policy", "prord",
+                   "--stream"])
+        stream_out = capsys.readouterr().out
+        assert rc == 0
+        # Bit-identical results ⇒ character-identical report.
+        assert _report_lines(stream_out) == _report_lines(batch_out)
+
+    def test_audit_flag(self, workload_dir, capsys):
+        rc = main(["replay", str(workload_dir), "--policy", "lard",
+                   "--audit"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "audit:" in out
+        assert "0 violations" in out
+
+    def test_sample_flag_prints_note(self, workload_dir, capsys):
+        rc = main(["replay", str(workload_dir), "--policy", "lard",
+                   "--sample", "0.5", "--sample-seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-client sample rate 0.5 (seed 3)" in out
+        assert "lard on" in out
+
+    def test_sample_is_seed_stable(self, workload_dir, capsys):
+        args = ["replay", str(workload_dir), "--policy", "lard",
+                "--stream", "--sample", "0.5", "--sample-seed", "3"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        assert capsys.readouterr().out == first
+
+    def test_streamed_sampled_matches_batch_sampled(self, workload_dir,
+                                                    capsys):
+        args = ["replay", str(workload_dir), "--policy", "lard",
+                "--sample", "0.5", "--sample-seed", "3"]
+        main(args)
+        batch_out = capsys.readouterr().out
+        main(args + ["--stream"])
+        stream_out = capsys.readouterr().out
+        assert _report_lines(stream_out) == _report_lines(batch_out)
+
+    @pytest.mark.parametrize("rate", ("0", "-0.5", "1.5"))
+    def test_invalid_sample_rate_exits_with_error(self, workload_dir, rate):
+        with pytest.raises(SystemExit, match="sample rate"):
+            main(["replay", str(workload_dir), "--sample", rate])
+
+    def test_sampling_to_nothing_exits_with_error(self, workload_dir):
+        with pytest.raises(SystemExit, match="left no evaluation"):
+            main(["replay", str(workload_dir), "--sample", "1e-12"])
+
+    def test_missing_directory_exits_with_error(self, tmp_path):
+        with pytest.raises(SystemExit,
+                           match="not a saved workload directory"):
+            main(["replay", str(tmp_path / "nope")])
+
+    def test_stream_surfaces_training_drop_note(self, workload_dir,
+                                                capsys):
+        with (workload_dir / "training.log").open("a") as fp:
+            fp.write("definitely not clf\n")
+        try:
+            # A mining policy: the streamed training log is only read
+            # (and its drops counted) when mining actually runs.
+            rc = main(["replay", str(workload_dir), "--policy", "prord",
+                       "--stream"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "note: training.log:" in out
+            assert "malformed line(s) dropped" in out
+        finally:
+            text = (workload_dir / "training.log").read_text()
+            (workload_dir / "training.log").write_text(
+                text.replace("definitely not clf\n", ""))
+
+
+class TestMineSampleFlag:
+    def test_batch_and_stream_note_same_kept_count(self, workload_dir,
+                                                   capsys):
+        log = str(workload_dir / "training.log")
+        rc = main(["mine", log, "--sample", "0.5", "--sample-seed", "7",
+                   "--top", "3"])
+        batch_out = capsys.readouterr().out
+        assert rc == 0
+        rc = main(["mine", log, "--stream", "--sample", "0.5",
+                   "--sample-seed", "7", "--top", "3"])
+        stream_out = capsys.readouterr().out
+        assert rc == 0
+        batch_note = next(l for l in batch_out.splitlines()
+                          if "per-client sample rate" in l)
+        stream_note = next(l for l in stream_out.splitlines()
+                           if "per-client sample rate" in l)
+        assert batch_note.split("kept")[1] == stream_note.split("kept")[1]
+        # Same clients ⇒ same mined structures in both reports.
+        assert "dependency graph" in batch_out
+        assert "dependency graph" in stream_out
+
+    def test_invalid_rate_exits_before_mining(self, workload_dir):
+        log = str(workload_dir / "training.log")
+        for extra in ([], ["--stream"]):
+            with pytest.raises(SystemExit, match="sample rate"):
+                main(["mine", log, "--sample", "2.0", *extra])

@@ -58,6 +58,20 @@ class TestIndividualChecks:
         assert check.passed, check.detail
         assert "batch == stream" in check.detail
 
+    def test_streamed_replay_matches_materialized(self):
+        from repro.sim.differential import check_streamed_replay
+        check = check_streamed_replay(
+            preset_scales={"synthetic": 0.02}, policy_name="prord"
+        )
+        assert check.passed, check.detail
+        assert "materialized == streamed" in check.detail
+
+    def test_streamed_replay_covers_every_preset_by_default(self):
+        from repro.sim.differential import _REPLAY_PRESET_SCALES
+        assert set(_REPLAY_PRESET_SCALES) == {
+            "synthetic", "cs-department", "worldcup"
+        }
+
 
 class TestSuite:
     def test_full_battery_passes(self):
@@ -67,11 +81,12 @@ class TestSuite:
         assert isinstance(report, DifferentialReport)
         assert report.passed, report.format()
         names = [c.name for c in report.checks]
-        # degenerate + streamed mining + (determinism, audit, telemetry)
-        # per policy + grid.
+        # degenerate + streamed mining + streamed replay + (determinism,
+        # audit, telemetry) per policy + grid.
         assert names == [
             "degenerate-prord",
             "streamed-mining",
+            "streamed-replay",
             "determinism[lard]", "audit-transparency[lard]",
             "telemetry-transparency[lard]",
             "determinism[prord]", "audit-transparency[prord]",

@@ -251,6 +251,74 @@ class TestTraceSidecar:
             _load_trace_meta(p, name="x")
 
 
+class TestStreamedTraceSidecar:
+    """``stream=True`` degraded paths: a broken sidecar must WARN and
+    fall back to a materialized heuristic trace, never crash the load."""
+
+    def make_workload(self):
+        return synthetic_workload(scale=0.02)
+
+    def test_streamed_load_uses_sidecar_source(self, tmp_path, caplog):
+        import logging
+        from repro.logs import SidecarRequestSource
+        w = self.make_workload()
+        out = save_workload(w, tmp_path / "wl")
+        with caplog.at_level(logging.WARNING, logger="repro.logs.store"):
+            again = load_workload(out, stream=True)
+        assert caplog.text == ""
+        assert isinstance(again.trace, SidecarRequestSource)
+        assert list(again.trace) == list(w.trace)
+
+    def test_absent_sidecar_warns_and_materializes(self, tmp_path, caplog):
+        import logging
+        from repro.logs import Trace
+        w = self.make_workload()
+        out = save_workload(w, tmp_path / "wl")
+        (out / "trace.meta.jsonl").unlink()
+        with caplog.at_level(logging.WARNING, logger="repro.logs.store"):
+            again = load_workload(out, stream=True)
+        assert "streamed evaluation requires the trace sidecar" in caplog.text
+        assert isinstance(again.trace, Trace)
+        assert len(again.trace) == len(w.trace)
+
+    @pytest.mark.parametrize("corrupt", [
+        lambda p: p.write_text('{"kind": "something-else"}\n'),
+        lambda p: p.write_text("not json at all\n"),
+        lambda p: p.write_text(""),
+        # Truncation: drop the last data row, keep the header count.
+        lambda p: p.write_text(
+            "".join(p.read_text().splitlines(keepends=True)[:-1])),
+    ])
+    def test_corrupt_sidecar_warns_and_falls_back(self, tmp_path, caplog,
+                                                  corrupt):
+        import logging
+        from repro.logs import Trace
+        w = self.make_workload()
+        out = save_workload(w, tmp_path / "wl")
+        corrupt(out / "trace.meta.jsonl")
+        with caplog.at_level(logging.WARNING, logger="repro.logs.store"):
+            again = load_workload(out, stream=True)
+        assert "unusable trace sidecar" in caplog.text
+        assert isinstance(again.trace, Trace)
+        assert len(again.trace) == len(w.trace)
+
+    def test_degraded_streamed_workload_still_replays(self, tmp_path):
+        from repro.core.system import run_policy
+        w = self.make_workload()
+        out = save_workload(w, tmp_path / "wl")
+        (out / "trace.meta.jsonl").write_text("garbage\n")
+        result = run_policy(load_workload(out, stream=True), "lard")
+        assert result.report.all_completed == len(w.trace)
+
+    def test_sampled_fallback_keeps_whole_clients(self, tmp_path):
+        w = self.make_workload()
+        out = save_workload(w, tmp_path / "wl")
+        (out / "trace.meta.jsonl").unlink()
+        again = load_workload(out, stream=True, sample_rate=0.5,
+                              sample_seed=3)
+        assert 0 < len(again.trace) < len(w.trace)
+
+
 class TestDropAccounting:
     def test_malformed_training_lines_logged(self, tmp_path, caplog):
         import logging

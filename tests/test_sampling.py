@@ -1,0 +1,183 @@
+"""Property tests: deterministic per-client sampling.
+
+The sampler's contract is that keep/drop is a pure function of
+``(seed, rate, client)`` — so the selected client subset must be
+identical across record orderings, chunkings, gzip vs plain storage,
+re-iteration of a ``CLFSource``, and batch vs streamed mining.  These
+properties are what make a sampled replay *reproducible*: anyone with
+the same log, rate, and seed replays the same sub-workload.
+"""
+
+import gzip
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SimulationParams
+from repro.logs import ClientSampler, LogRecord, Request, request_client_key
+from repro.logs.clf import CLFSource, format_line
+from repro.logs.workloads import synthetic_workload
+from repro.mining.fold import StreamingModelFold, models_fingerprint
+
+hosts = st.lists(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+        min_size=1, max_size=12,
+    ),
+    min_size=1, max_size=30,
+)
+
+rates = st.floats(min_value=0.01, max_value=1.0,
+                  allow_nan=False, exclude_min=False)
+
+seeds = st.integers(min_value=0, max_value=2**32)
+
+
+def _records(host_list):
+    return [
+        LogRecord(host=h, timestamp=float(i), method="GET",
+                  path=f"/p{i % 5}", protocol="HTTP/1.1",
+                  status=200, size=100 + i)
+        for i, h in enumerate(host_list)
+    ]
+
+
+class TestSamplerProperties:
+    @settings(max_examples=100)
+    @given(host_list=hosts, rate=rates, seed=seeds)
+    def test_property_order_and_chunking_invariant(
+        self, host_list, rate, seed
+    ):
+        sampler = ClientSampler(rate, seed)
+        records = _records(host_list)
+        kept = {r.host for r in sampler.sample_records(records)}
+        # Reversed order: identical client subset.
+        assert {r.host
+                for r in sampler.sample_records(reversed(records))} == kept
+        # Chunked: sampling chunk-by-chunk equals sampling the whole.
+        mid = len(records) // 2
+        chunked = [*sampler.sample_records(records[:mid]),
+                   *sampler.sample_records(records[mid:])]
+        assert [r.host for r in chunked] == [
+            r.host for r in sampler.sample_records(records)
+        ]
+
+    @settings(max_examples=100)
+    @given(host_list=hosts, seed=seeds,
+           r1=rates, r2=rates)
+    def test_property_monotone_in_rate(self, host_list, seed, r1, r2):
+        lo, hi = sorted((r1, r2))
+        kept_lo = {h for h in host_list if ClientSampler(lo, seed).keep(h)}
+        kept_hi = {h for h in host_list if ClientSampler(hi, seed).keep(h)}
+        # Widening the sample only ever adds clients, never swaps them.
+        assert kept_lo <= kept_hi
+
+    @settings(max_examples=50)
+    @given(host_list=hosts, seed=seeds)
+    def test_property_rate_one_keeps_everything(self, host_list, seed):
+        sampler = ClientSampler(1.0, seed)
+        records = _records(host_list)
+        assert list(sampler.sample_records(records)) == records
+
+    def test_expected_fraction_is_roughly_rate(self):
+        # blake2b spreads uniformly; 1000 distinct clients at rate 0.5
+        # must land well inside a loose binomial band (deterministic —
+        # this is a regression pin on the hash construction).
+        kept = sum(ClientSampler(0.5, 0).keep(f"host{i}")
+                   for i in range(1000))
+        assert 420 <= kept <= 580
+
+    def test_different_seeds_select_different_subsets(self):
+        clients = [f"host{i}" for i in range(200)]
+        a = {c for c in clients if ClientSampler(0.5, 0).keep(c)}
+        b = {c for c in clients if ClientSampler(0.5, 1).keep(c)}
+        assert a != b
+
+    @pytest.mark.parametrize("rate", (0.0, -0.5, 1.5))
+    def test_invalid_rates_rejected(self, rate):
+        with pytest.raises(ValueError, match="sample rate"):
+            ClientSampler(rate)
+
+    def test_request_client_key_falls_back_to_conn_id(self):
+        named = Request(0.0, 7, "/a", 10, client="alice")
+        anon = Request(0.0, 7, "/a", 10)
+        assert request_client_key(named) == "alice"
+        # Matches the synthetic host save_workload writes to access.log,
+        # so sidecar-stream sampling and CLF sampling agree.
+        assert request_client_key(anon) == "c7"
+
+    def test_sample_requests_keeps_whole_connections(self):
+        sampler = ClientSampler(0.5, 0)
+        reqs = [Request(float(i), i % 10, "/p", 10, client=f"h{i % 10}")
+                for i in range(100)]
+        kept = list(sampler.sample_requests(reqs))
+        kept_clients = {r.client for r in kept}
+        # No client is partially present.
+        for r in reqs:
+            assert (r in kept) == (r.client in kept_clients)
+
+
+class TestSourceSampling:
+    """The same subset off disk: plain, gzip, re-iterated, and mined."""
+
+    @pytest.fixture(scope="class")
+    def training_records(self):
+        return synthetic_workload(scale=0.02).training_records
+
+    @pytest.fixture(scope="class")
+    def log_paths(self, training_records, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("logs")
+        text = "".join(format_line(r) + "\n" for r in training_records)
+        plain = tmp / "train.log"
+        plain.write_text(text)
+        gz = tmp / "train.log.gz"
+        with gzip.open(gz, "wt") as fp:
+            fp.write(text)
+        return plain, gz
+
+    def test_gzip_and_plain_select_identical_clients(self, log_paths):
+        plain, gz = log_paths
+        kw = dict(sample_rate=0.5, sample_seed=11)
+        a = list(CLFSource(plain, **kw))
+        b = list(CLFSource(gz, **kw))
+        assert a and a == b
+
+    def test_reiteration_is_stable(self, log_paths):
+        plain, _ = log_paths
+        source = CLFSource(plain, sample_rate=0.5, sample_seed=11)
+        first = list(source)
+        first_out = source.sampled_out
+        assert first_out > 0
+        assert list(source) == first
+        assert source.sampled_out == first_out
+
+    def test_sampled_source_equals_prefiltered_records(
+        self, log_paths, training_records
+    ):
+        plain, _ = log_paths
+        sampler = ClientSampler(0.5, 11)
+        expected = list(sampler.sample_records(
+            CLFSource(plain)
+        ))
+        assert list(CLFSource(plain, sample_rate=0.5,
+                              sample_seed=11)) == expected
+
+    def test_sampled_stream_mining_equals_batch_filter_mining(
+        self, log_paths
+    ):
+        # Mining a sampled stream == mining the pre-filtered records:
+        # sampling commutes with the whole mining pipeline.
+        plain, gz = log_paths
+        params = SimulationParams()
+
+        def mined(records):
+            fold = StreamingModelFold(params)
+            fold.add_records(iter(records))
+            return fold.finish()
+
+        sampler = ClientSampler(0.4, 5)
+        batch = mined(sampler.sample_records(CLFSource(plain)))
+        streamed = mined(CLFSource(plain, sample_rate=0.4, sample_seed=5))
+        gzipped = mined(CLFSource(gz, sample_rate=0.4, sample_seed=5))
+        assert models_fingerprint(batch) == models_fingerprint(streamed)
+        assert models_fingerprint(batch) == models_fingerprint(gzipped)

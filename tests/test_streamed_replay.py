@@ -1,0 +1,206 @@
+"""Property tests: streamed replay ≡ materialized replay.
+
+PR 5 proved streamed *mining* equals batch mining; these are the same
+proof obligations for the evaluation side.  A workload whose trace is a
+lazy :class:`SidecarRequestSource` must replay — through every policy,
+every arrival window, scaled or sampled — into a result field-for-field
+identical to the materialized :class:`Trace`, while the simulator never
+holds more than the lookahead window of requests.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.system import run_policy
+from repro.logs import Request, Trace
+from repro.logs.replay import (
+    ScaledRequestSource,
+    SidecarRequestSource,
+    TraceSummary,
+)
+from repro.logs.store import _save_trace_meta, load_workload, save_workload
+from repro.logs.workloads import synthetic_workload
+from repro.sim import ClusterSimulator
+from repro.sim.differential import DEFAULT_POLICIES, report_fields
+from tests.test_arrival_pump import (
+    _build_trace,
+    _observable,
+    _params,
+    _run,
+    random_traces,
+)
+from repro.core.system import build_policy
+
+
+def _sidecar_source(trace: Trace, directory: Path) -> SidecarRequestSource:
+    """Round-trip a trace through the sidecar into a lazy source."""
+    path = directory / "trace.meta.jsonl"
+    _save_trace_meta(trace, path)
+    return SidecarRequestSource(path)
+
+
+class TestStreamedEqualsMaterialized:
+    """The tentpole property: run_policy streamed == eager, all policies."""
+
+    @pytest.mark.parametrize("policy_name", DEFAULT_POLICIES)
+    @settings(max_examples=10, deadline=None)
+    @given(spec=random_traces)
+    def test_property_streamed_run_matches_materialized(
+        self, policy_name, spec
+    ):
+        trace = _build_trace(spec)
+        materialized = _observable(*_run(trace, policy_name, None))
+        assert materialized["events"], "trace produced no events"
+        with tempfile.TemporaryDirectory() as tmp:
+            source = _sidecar_source(trace, Path(tmp))
+            # Default window (streamed) and the pathological window=1.
+            for window in (None, 1):
+                streamed = _observable(*_run(source, policy_name, window))
+                differing = [
+                    k for k in materialized
+                    if materialized[k] != streamed[k]
+                ]
+                assert not differing, (
+                    f"streamed window={window} diverges from "
+                    f"materialized on {differing}"
+                )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        spec=random_traces,
+        factor=st.sampled_from((0.25, 0.5, 2.0, 3.7)),
+    )
+    def test_property_scaled_source_matches_scaled_trace(self, spec, factor):
+        # target_rps support: the lazy scaled view must apply the exact
+        # float arithmetic of Trace.scaled, arrival by arrival.
+        trace = _build_trace(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            source = _sidecar_source(trace, Path(tmp)).scaled(factor)
+            scaled_trace = trace.scaled(factor)
+            assert [r.arrival for r in source] == [
+                r.arrival for r in scaled_trace
+            ]
+            a = _observable(*_run(scaled_trace, "lard", None))
+            b = _observable(*_run(source, "lard", None))
+            assert a == b
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec=random_traces)
+    def test_property_source_summary_matches_trace(self, spec):
+        trace = _build_trace(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            source = _sidecar_source(trace, Path(tmp))
+            assert len(source) == len(trace)
+            assert source.start == trace.start
+            assert source.duration == trace.duration
+            assert dict(source.catalog) == dict(trace.catalog)
+            assert source.connection_counts() == trace.connection_counts()
+            # Re-iteration: every pass yields the identical requests.
+            assert list(source) == list(trace)
+            assert list(source) == list(source)
+
+
+class TestWorkloadRoundTrip:
+    """save_workload → load_workload(stream=True) → run_policy."""
+
+    @pytest.fixture(scope="class")
+    def saved(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("wl") / "synthetic"
+        save_workload(synthetic_workload(scale=0.02), out)
+        return out
+
+    def test_streamed_load_is_lazy(self, saved):
+        w = load_workload(saved, stream=True)
+        assert isinstance(w.trace, SidecarRequestSource)
+        assert len(w.trace) == len(load_workload(saved).trace)
+
+    def test_run_policy_streamed_field_for_field(self, saved):
+        batch = load_workload(saved)
+        stream = load_workload(saved, stream=True)
+        a = run_policy(batch, "prord")
+        b = run_policy(stream, "prord")
+        assert report_fields(a) == report_fields(b)
+        assert a.trace_name == b.trace_name
+
+    def test_run_policy_streamed_with_target_rps(self, saved):
+        batch = load_workload(saved)
+        stream = load_workload(saved, stream=True)
+        a = run_policy(batch, "lard", target_rps=250.0)
+        b = run_policy(stream, "lard", target_rps=250.0)
+        assert report_fields(a) == report_fields(b)
+
+    def test_run_policy_sampled_streamed_field_for_field(self, saved):
+        batch = load_workload(saved, sample_rate=0.5, sample_seed=3)
+        stream = load_workload(saved, stream=True,
+                               sample_rate=0.5, sample_seed=3)
+        assert 0 < len(stream.trace) < len(load_workload(saved).trace)
+        assert len(batch.trace) == len(stream.trace)
+        # prord exercises sampled mining + sampled replay end to end.
+        a = run_policy(batch, "prord")
+        b = run_policy(stream, "prord")
+        assert report_fields(a) == report_fields(b)
+
+    def test_sampling_to_nothing_raises(self, saved):
+        with pytest.raises(ValueError, match="left no evaluation"):
+            load_workload(saved, stream=True, sample_rate=1e-12)
+
+
+class TestSidecarSourceValidation:
+    """Construction is the validation pass: defects fail fast, not
+    mid-simulation."""
+
+    def _write(self, tmp_path, text):
+        p = tmp_path / "trace.meta.jsonl"
+        p.write_text(text)
+        return p
+
+    def test_bad_header_rejected(self, tmp_path):
+        p = self._write(tmp_path, '{"kind": "something-else"}\n')
+        with pytest.raises(ValueError, match="unrecognized trace sidecar"):
+            SidecarRequestSource(p)
+
+    def test_truncation_rejected(self, tmp_path):
+        trace = _build_trace([(0.01, 0, 0)] * 5)
+        p = tmp_path / "trace.meta.jsonl"
+        _save_trace_meta(trace, p)
+        p.write_text("".join(p.read_text().splitlines(keepends=True)[:-2]))
+        with pytest.raises(ValueError, match="truncated"):
+            SidecarRequestSource(p)
+
+    def test_out_of_order_rejected(self, tmp_path):
+        header = ('{"format_version": 1, "kind": "prord-trace-meta", '
+                  '"name": "x", "n": 2}\n')
+        row = ('{"a": %f, "c": 0, "p": "/p", "s": 1, "e": false, '
+               '"d": false, "pa": null, "cl": "-"}\n')
+        p = self._write(tmp_path, header + row % 2.0 + row % 1.0)
+        with pytest.raises(ValueError, match="sorted by arrival"):
+            SidecarRequestSource(p)
+
+    def test_scaled_source_rejects_nonpositive_factor(self, tmp_path):
+        source = _sidecar_source(_build_trace([(0.01, 0, 0)] * 3), tmp_path)
+        with pytest.raises(ValueError, match="factor must be positive"):
+            source.scaled(0.0)
+
+
+class TestStreamedFootprint:
+    def test_calendar_high_water_bounded_by_window(self, tmp_path):
+        # The whole point: with a lazy source and a bounded window, the
+        # calendar (and the pump) hold O(window), not O(trace).
+        n, window = 3000, 64
+        trace = Trace(
+            [Request(arrival=i * 0.002, conn_id=i % 8,
+                     path=f"/p{i % 16}", size=1024)
+             for i in range(n)],
+            name="long",
+        )
+        source = _sidecar_source(trace, tmp_path)
+        cluster = ClusterSimulator(
+            source, build_policy("lard")[0], _params(),
+            arrival_window=window,
+        )
+        cluster.run()
+        assert cluster.sim.calendar_high_water <= window + 64
+        assert cluster.sim.calendar_high_water < n // 10
