@@ -9,7 +9,7 @@
 
 import pytest
 
-from repro.core import SimulationParams, mine_components, run_policy
+from repro.core import SimulationParams, run_policy
 from repro.experiments import format_table
 from repro.logs import page_sequences, sessionize
 from repro.mining import (

@@ -12,7 +12,6 @@ import pytest
 from repro.core import SimulationParams, mine_components
 from repro.experiments import format_table
 from repro.logs import TrafficSpec
-from repro.policies import ReplicationEngine
 from repro.core.system import build_policy
 from repro.sim import run_closed_loop
 

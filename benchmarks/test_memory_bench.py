@@ -101,7 +101,7 @@ def measurements(tmp_path_factory):
     wl_dir = tmp / "workload"
     gen = _run_child("genlog", str(log_path), PRESET, str(SCALE),
                      str(STRETCH))
-    genwl = _run_child("genwl", str(wl_dir), PRESET, str(REPLAY_SCALE))
+    _run_child("genwl", str(wl_dir), PRESET, str(REPLAY_SCALE))
     base = _run_child("base")
     batch = _run_child("batch", str(log_path))
     stream = _run_child("stream", str(log_path))

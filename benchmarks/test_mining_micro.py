@@ -5,7 +5,6 @@ Not a paper figure — these keep the mining layer's costs visible
 because the paper's front end consults these structures per request.
 """
 
-import io
 
 import pytest
 

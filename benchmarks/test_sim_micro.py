@@ -4,7 +4,6 @@ Event-engine throughput bounds every experiment's wall-clock, so a
 regression here makes the whole harness slower — keep it visible.
 """
 
-import pytest
 
 from repro.core import SimulationParams
 from repro.sim import BackendServer, LRUCache, Resource, Simulator

@@ -400,6 +400,20 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static contract checks (reprolint): determinism, hook purity,
+    pool-safety.  Exit 0 clean, 1 findings."""
+    from .lint.cli import main as lint_main
+    argv: list[str] = list(args.paths)
+    for name in args.rule or ():
+        argv += ["--rule", name]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.self_test:
+        argv.append("--self-test")
+    return lint_main(argv)
+
+
 def cmd_timeline(args: argparse.Namespace) -> int:
     """Telemetered grid run: dashboards on stdout, artifacts on disk."""
     from datetime import datetime, timezone
@@ -451,7 +465,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
             results, scale,
             workloads=workloads,
             label="timeline",
-            created_at=datetime.now(timezone.utc).isoformat(
+            created_at=datetime.now(timezone.utc).isoformat(  # reprolint: disable=wall-clock -- manifest provenance stamp, excluded from the fingerprint's volatile section
                 timespec="seconds"),
         )
         manifest_path = out_dir / "manifest.json"
@@ -669,6 +683,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="print the Table-1 parameter set")
     p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser(
+        "lint",
+        help="static contract checks: determinism, hook purity, "
+        "pool-safety (reprolint)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories (default: src/)")
+    p.add_argument("--rule", action="append", metavar="NAME",
+                   help="run only this rule (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the registered rules and exit")
+    p.add_argument("--self-test", action="store_true",
+                   help="verify every registered rule still fires")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

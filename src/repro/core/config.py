@@ -13,7 +13,7 @@ with ``*_s`` helpers converting to the engine's seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 __all__ = ["SimulationParams", "MB", "KB"]

@@ -39,14 +39,14 @@ def run_all(
     pass across invocations — again without changing any number.
     """
     sections: list[str] = []
-    t0 = time.time()
+    t0 = time.monotonic()
     sections.append(table1.main())
     runners = {
         fig6: fig6.run_fig6, fig7: fig7.run_fig7,
         fig8: fig8.run_fig8, fig9: fig9.run_fig9,
     }
     for module in (fig6, fig7, fig8, fig9):
-        start = time.time()
+        start = time.monotonic()
         if csv_dir is not None:
             rows = runners[module](scale, jobs=jobs, audit=audit,
                                    model_cache=model_cache)
@@ -57,12 +57,12 @@ def run_all(
         else:
             sections.append(module.main(scale, jobs=jobs, audit=audit,
                                         model_cache=model_cache))
-        timing = f"[{module.__name__} took {time.time() - start:.1f} s]"
+        timing = f"[{module.__name__} took {time.monotonic() - start:.1f} s]"
         print(timing)
         sections.append(timing)
     footer = (
         f"All experiments at scale {scale.name!r} took "
-        f"{time.time() - t0:.1f} s."
+        f"{time.monotonic() - t0:.1f} s."
     )
     print(footer)
     sections.append(footer)

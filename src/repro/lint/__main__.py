@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` — same as ``repro lint``."""
+
+from .cli import main
+
+raise SystemExit(main())

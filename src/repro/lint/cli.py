@@ -1,0 +1,109 @@
+"""``repro lint`` / ``python -m repro.lint`` entry point.
+
+Exit codes follow CI conventions: 0 clean, 1 findings (or self-test
+failure), 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import Linter
+from .registry import all_rules, families, get_rule
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST contract checker: determinism, hook purity, and "
+            "pool-safety over the repro tree"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/ next to the "
+        "current directory, else the installed repro package)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules by family and exit",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify every registered rule fires on its known-bad "
+        "snippet and stays quiet on its known-good one",
+    )
+    return parser
+
+
+def _default_paths() -> list[Path]:
+    src = Path("src")
+    if (src / "repro").is_dir():
+        return [src]
+    import repro
+
+    pkg = Path(repro.__file__).parent
+    return [pkg]
+
+
+def _list_rules() -> str:
+    lines: list[str] = []
+    for family, rules in families().items():
+        lines.append(f"{family} ({len(rules)} rules)")
+        for r in rules:
+            lines.append(f"  {r.name}: {r.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    if args.self_test:
+        from .selftest import run_selftest
+
+        report = run_selftest()
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.rule:
+        try:
+            rules = [get_rule(name) for name in args.rule]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        rules = None
+
+    paths = [Path(p) for p in args.paths] if args.paths else _default_paths()
+    for p in paths:
+        if not p.exists():
+            print(f"error: no such path: {p}", file=sys.stderr)
+            return 2
+
+    diagnostics = Linter(rules).lint_paths(paths)
+    for diag in diagnostics:
+        print(diag.format())
+    n_rules = len(rules) if rules is not None else len(all_rules())
+    print(
+        f"reprolint: {len(diagnostics)} finding(s) "
+        f"({n_rules} rules over {', '.join(str(p) for p in paths)})",
+        file=sys.stderr,
+    )
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,271 @@
+"""Linter core: file contexts, shared AST utilities, and the driver.
+
+A :class:`FileContext` parses one source file once and shares the
+expensive derived structures (parent map, import-alias map) across all
+rules; the :class:`Linter` walks a file set, applies each rule inside
+its scope, and folds in the pragma contract (a ``disable`` silences a
+finding on its line; an unjustified or unknown-rule ``disable`` is a
+finding itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+
+from .pragmas import Pragma, scan_pool_markers, scan_pragmas
+from .registry import Rule, all_rules
+
+__all__ = ["Diagnostic", "FileContext", "Linter", "lint_paths"]
+
+#: Names whose resolution we trust to be the builtin even without an
+#: import (rules only consult this for the handful they care about).
+_BUILTINS = frozenset({
+    "id", "hash", "open", "map", "filter", "zip", "iter", "enumerate",
+    "reversed", "sorted", "set", "frozenset", "list", "tuple", "min",
+    "max",
+})
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding: ``file:line rule message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+
+class FileContext:
+    """One parsed file plus lazily-built shared analyses."""
+
+    def __init__(self, path: str, source: str, relpath: str | None = None):
+        self.path = path
+        #: path relative to the lint root with forward slashes — what
+        #: rule scopes match against (e.g. ``repro/sim/engine.py``).
+        self.relpath = relpath if relpath is not None else path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+
+    # -- shared analyses -----------------------------------------------------
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child node -> parent node over the whole module."""
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        return parents
+
+    @cached_property
+    def import_aliases(self) -> dict[str, str]:
+        """Local name -> canonical dotted module path.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from datetime
+        import datetime as dt`` maps ``dt -> datetime.datetime``.
+        """
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports are project-internal
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return aliases
+
+    @cached_property
+    def pragmas(self) -> dict[int, Pragma]:
+        return scan_pragmas(self.source)
+
+    @cached_property
+    def pool_marker_lines(self) -> frozenset[int]:
+        return scan_pool_markers(self.source)
+
+    # -- name resolution -----------------------------------------------------
+
+    def dotted_name(self, node: ast.expr) -> str | None:
+        """Syntactic dotted path of a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def canonical_call(self, call: ast.Call) -> str | None:
+        """Canonical dotted path of a call target through the imports.
+
+        ``np.random.default_rng(...)`` -> ``numpy.random.default_rng``;
+        a bare builtin like ``id(...)`` -> ``id``.  Returns None for
+        targets that are not plain name/attribute chains (subscripts,
+        calls of calls, ...).
+        """
+        dotted = self.dotted_name(call.func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.import_aliases.get(head)
+        if target is not None:
+            return f"{target}.{rest}" if rest else target
+        if not rest and head in _BUILTINS:
+            return head
+        return dotted
+
+    def enclosing(
+        self, node: ast.AST, *types: type
+    ) -> ast.AST | None:
+        """Nearest ancestor of one of ``types`` (excluding ``node``)."""
+        parents = self.parents
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, types):
+                return current
+            current = parents.get(current)
+        return None
+
+    def diagnostic(self, node: ast.AST, rule: str, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            rule=rule,
+            message=message,
+        )
+
+
+class Linter:
+    """Run a rule set over files, honouring scopes and pragmas."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        *,
+        respect_scope: bool = True,
+    ) -> None:
+        self.rules = tuple(rules) if rules is not None else all_rules()
+        self.respect_scope = respect_scope
+        self._known_names = {r.name for r in all_rules()}
+
+    # -- single file ---------------------------------------------------------
+
+    def lint_source(
+        self, source: str, path: str = "<string>", relpath: str | None = None
+    ) -> list[Diagnostic]:
+        try:
+            ctx = FileContext(path, source, relpath=relpath)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(path, exc.lineno or 1, "parse-error", str(exc.msg))
+            ]
+        return self._lint_context(ctx)
+
+    def lint_file(self, path: Path, root: Path | None = None) -> list[Diagnostic]:
+        if root is None:
+            root = _guess_root(path)
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.name
+        return self.lint_source(
+            path.read_text(encoding="utf-8"), str(path), relpath=relpath
+        )
+
+    def _lint_context(self, ctx: FileContext) -> list[Diagnostic]:
+        raw: list[Diagnostic] = []
+        for rule in self.rules:
+            if self.respect_scope and not rule.scope(ctx.relpath):
+                continue
+            raw.extend(rule.check(ctx))
+        return self._apply_pragmas(ctx, raw)
+
+    def _apply_pragmas(
+        self, ctx: FileContext, raw: Iterable[Diagnostic]
+    ) -> list[Diagnostic]:
+        pragmas = ctx.pragmas
+        kept: list[Diagnostic] = []
+        for diag in raw:
+            pragma = pragmas.get(diag.line)
+            if pragma is not None and pragma.disables(diag.rule):
+                if pragma.justified:
+                    continue
+                # Unjustified: the suppression is void, so the original
+                # finding stays *and* the pragma itself is flagged below.
+            kept.append(diag)
+        for pragma in pragmas.values():
+            unknown = [r for r in pragma.rules if r not in self._known_names]
+            for name in unknown:
+                kept.append(Diagnostic(
+                    ctx.path, pragma.line, "pragma-unknown-rule",
+                    f"disable names unknown rule {name!r}",
+                ))
+            if not pragma.justified:
+                kept.append(Diagnostic(
+                    ctx.path, pragma.line, "pragma-justification",
+                    "disable pragma lacks a '-- justification' tail; "
+                    "say why the finding is acceptable",
+                ))
+            if not pragma.rules:
+                kept.append(Diagnostic(
+                    ctx.path, pragma.line, "pragma-unknown-rule",
+                    "disable pragma names no rules",
+                ))
+        kept.sort(key=Diagnostic.sort_key)
+        return kept
+
+    # -- file sets -----------------------------------------------------------
+
+    def lint_paths(
+        self, paths: Sequence[Path | str], *, root: Path | None = None
+    ) -> list[Diagnostic]:
+        files: list[Path] = []
+        for entry in paths:
+            p = Path(entry)
+            if p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            else:
+                files.append(p)
+        diagnostics: list[Diagnostic] = []
+        for path in files:
+            file_root = root if root is not None else _guess_root(path)
+            diagnostics.extend(self.lint_file(path, root=file_root))
+        diagnostics.sort(key=Diagnostic.sort_key)
+        return diagnostics
+
+
+def _guess_root(path: Path) -> Path:
+    """Directory containing the ``repro`` package, so scopes see
+    ``repro/...``-shaped relative paths wherever the file sits."""
+    resolved = path.resolve()
+    for ancestor in resolved.parents:
+        if ancestor.name == "repro":
+            return ancestor.parent
+    return resolved.parent
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    root: Path | None = None,
+) -> list[Diagnostic]:
+    """Convenience wrapper: lint ``paths`` with the full registry."""
+    return Linter(rules).lint_paths(paths, root=root)

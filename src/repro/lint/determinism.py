@@ -1,0 +1,416 @@
+"""Determinism family: no hidden entropy in the simulation-critical tree.
+
+Bit-identical replay dies the moment a code path reads the wall clock,
+draws from an unseeded RNG, keys a container by ``id()``, orders by
+``hash()`` (string hashing is salted per process), or feeds raw ``set``
+iteration into ordered output.  These rules catch each of those at the
+offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import Diagnostic, FileContext
+from .registry import everywhere, in_packages, rule
+
+__all__: list[str] = []
+
+#: The packages whose event/report ordering must be bit-reproducible.
+_SIM_SCOPE = in_packages(
+    "sim", "mining", "policies", "logs", "core", "experiments"
+)
+
+# -- wall-clock ---------------------------------------------------------------
+
+#: Always wall-clock, regardless of arguments.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Wall-clock only when called with no argument (with an explicit
+#: timestamp they are pure conversions).
+_WALL_CLOCK_NO_ARG = frozenset({
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+})
+
+
+@rule(
+    "wall-clock",
+    "determinism",
+    "no wall-clock reads (time.time, datetime.now, ...) in "
+    "simulation/report code; use the simulated clock or time.monotonic "
+    "for durations",
+    scope=everywhere,
+    bad_example=(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    ),
+    bad_lines=(3,),
+    good_example=(
+        "import time\n"
+        "def elapsed(t0):\n"
+        "    return time.monotonic() - t0\n"
+    ),
+)
+def check_wall_clock(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.canonical_call(node)
+        if name is None:
+            continue
+        if name in _WALL_CLOCK or (
+            name in _WALL_CLOCK_NO_ARG
+            and not node.args
+            and not node.keywords
+        ):
+            yield ctx.diagnostic(
+                node, "wall-clock",
+                f"{name}() reads the wall clock; use the simulation "
+                "clock, or time.monotonic()/time.perf_counter() for "
+                "durations",
+            )
+
+
+# -- unseeded randomness ------------------------------------------------------
+
+#: Explicitly entropy-backed call targets.
+_ENTROPY = frozenset({
+    "os.urandom",
+    "uuid.uuid4",
+    "uuid.uuid1",
+    "random.SystemRandom",
+})
+
+#: Seedable constructors allowed from ``numpy.random``; everything else
+#: on that module is the legacy global-state API.
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+
+@rule(
+    "unseeded-random",
+    "determinism",
+    "no module-level random.*, legacy numpy.random.*, os.urandom, "
+    "uuid4, or secrets; thread a seeded np.random.default_rng / "
+    "random.Random through instead",
+    scope=everywhere,
+    bad_example=(
+        "import random\n"
+        "def pick(items):\n"
+        "    return random.choice(items)\n"
+    ),
+    bad_lines=(3,),
+    good_example=(
+        "import numpy as np\n"
+        "def pick(items, seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return items[rng.integers(len(items))]\n"
+    ),
+)
+def check_unseeded_random(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.canonical_call(node)
+        if name is None:
+            continue
+        flagged = None
+        if name in _ENTROPY or name.startswith("secrets."):
+            flagged = "draws from OS entropy"
+        elif name.startswith("random.") and name != "random.Random":
+            flagged = "uses the process-global random state"
+        elif name.startswith("numpy.random."):
+            tail = name.removeprefix("numpy.random.")
+            if tail not in _NP_RANDOM_OK:
+                flagged = "uses numpy's legacy global-state random API"
+        if flagged is not None:
+            yield ctx.diagnostic(
+                node, "unseeded-random",
+                f"{name}() {flagged}; thread an explicitly seeded "
+                "np.random.default_rng(seed) / random.Random(seed)",
+            )
+
+
+# -- id()-keyed containers ----------------------------------------------------
+
+_KEYED_METHODS = frozenset({
+    "add", "discard", "remove", "get", "setdefault", "pop",
+    "__contains__",
+})
+
+
+def _is_builtin_id_call(ctx: FileContext, node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and ctx.canonical_call(node) == "id"
+        and len(node.args) == 1
+    )
+
+
+@rule(
+    "id-key",
+    "determinism",
+    "no id()-keyed containers: CPython recycles object ids, so an "
+    "id-keyed dict/set silently cross-wires recycled objects (the PR-4 "
+    "inject() callback collision)",
+    scope=_SIM_SCOPE,
+    bad_example=(
+        "pending = {}\n"
+        "def track(req, cb):\n"
+        "    pending[id(req)] = cb\n"
+    ),
+    bad_lines=(3,),
+    good_example=(
+        "def track(flows, req, cb):\n"
+        "    flows.append((req, cb))\n"
+    ),
+)
+def check_id_key(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(ctx.tree):
+        if not _is_builtin_id_call(ctx, node):
+            continue
+        parent = ctx.parents.get(node)
+        keyed = False
+        if isinstance(parent, ast.Subscript) and parent.slice is node:
+            keyed = True
+        elif isinstance(parent, ast.Dict) and node in parent.keys:
+            keyed = True
+        elif isinstance(parent, ast.Compare) and parent.left is node and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in parent.ops
+        ):
+            keyed = True
+        elif (
+            isinstance(parent, ast.Call)
+            and parent.func is not node
+            and isinstance(parent.func, ast.Attribute)
+            and parent.func.attr in _KEYED_METHODS
+            and node in parent.args
+        ):
+            keyed = True
+        if keyed:
+            yield ctx.diagnostic(
+                node, "id-key",
+                "id(...) used as a container key; object ids are "
+                "recycled — key by the object itself or an explicit "
+                "sequence number",
+            )
+
+
+# -- hash()-driven ordering ---------------------------------------------------
+
+_ORDERING_CALLS = frozenset({"sorted", "min", "max"})
+
+
+@rule(
+    "hash-order",
+    "determinism",
+    "no builtin hash() feeding ordering or partitioning: string "
+    "hashing is salted per process (PYTHONHASHSEED), so hash-ordered "
+    "output differs between runs and pool workers",
+    scope=_SIM_SCOPE,
+    bad_example=(
+        "def shard(paths, n):\n"
+        "    return sorted(paths, key=lambda p: hash(p) % n)\n"
+    ),
+    bad_lines=(2,),
+    good_example=(
+        "import hashlib\n"
+        "def shard_of(path, n):\n"
+        "    digest = hashlib.blake2b(path.encode(), digest_size=8)\n"
+        "    return int.from_bytes(digest.digest(), 'big') % n\n"
+    ),
+)
+def check_hash_order(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and ctx.canonical_call(node) == "hash"
+            and len(node.args) == 1
+        ):
+            continue
+        reason = None
+        parent = ctx.parents.get(node)
+        if isinstance(parent, ast.BinOp) and isinstance(parent.op, ast.Mod):
+            reason = "partitions by hash(...) % n"
+        elif isinstance(parent, ast.Compare):
+            if any(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                for op in parent.ops
+            ):
+                reason = "compares hash(...) values for ordering"
+        if reason is None:
+            lam = ctx.enclosing(node, ast.Lambda, ast.FunctionDef)
+            if isinstance(lam, ast.Lambda):
+                kw = ctx.parents.get(lam)
+                if isinstance(kw, ast.keyword) and kw.arg == "key":
+                    call = ctx.parents.get(kw)
+                    if isinstance(call, ast.Call):
+                        target = ctx.canonical_call(call)
+                        method = (
+                            call.func.attr
+                            if isinstance(call.func, ast.Attribute)
+                            else None
+                        )
+                        if target in _ORDERING_CALLS or method == "sort":
+                            reason = "orders by a hash(...) sort key"
+        if reason is not None:
+            yield ctx.diagnostic(
+                node, "hash-order",
+                f"{reason}; builtin hash of str is salted per process — "
+                "use hashlib (e.g. blake2b) or a total order on the "
+                "values themselves",
+            )
+
+
+# -- raw set iteration --------------------------------------------------------
+
+_SET_CONSUMERS = frozenset({"list", "tuple", "enumerate"})
+
+#: Calls whose result does not depend on argument order, so feeding
+#: them a raw set (or a generator over one) is fine.
+_ORDER_INSENSITIVE = frozenset({
+    "all", "any", "min", "max", "len", "set", "frozenset", "sorted",
+})
+
+
+def _is_set_expr(ctx: FileContext, node: ast.expr, depth: int = 0) -> bool:
+    """Syntactically set-typed: literal, comprehension, set()/frozenset()
+    call, or a set-operator combination of such (one level deep)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.canonical_call(node) in ("set", "frozenset")
+    if depth < 2 and isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(ctx, node.left, depth + 1) or _is_set_expr(
+            ctx, node.right, depth + 1
+        )
+    return False
+
+
+class _SetIterVisitor(ast.NodeVisitor):
+    """Flags raw iteration over syntactic sets, with function-local
+    name tracking (``s = set(...)`` ... ``for x in s``)."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.diagnostics: list[Diagnostic] = []
+        #: per-function stack of {name: is_known_set}
+        self._scopes: list[dict[str, bool]] = []
+
+    # scope management
+    def _enter(self, node: ast.AST) -> None:
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._scopes:
+            is_set = _is_set_expr(self.ctx, node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._scopes[-1][target.id] = is_set
+        self.generic_visit(node)
+
+    def _known_set(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Name)
+            and bool(self._scopes)
+            and self._scopes[-1].get(node.id, False)
+        )
+
+    def _flag_if_set(self, iter_node: ast.expr, how: str) -> None:
+        if _is_set_expr(self.ctx, iter_node) or self._known_set(iter_node):
+            self.diagnostics.append(self.ctx.diagnostic(
+                iter_node, "set-order",
+                f"{how} iterates a set in hash order, which is "
+                "process-dependent; wrap it in sorted(...)",
+            ))
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_if_set(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for gen in node.generators:
+            self._flag_if_set(gen.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        # A genexp consumed directly by an order-insensitive call
+        # (all(... for x in some_set), min(...)) leaks no ordering.
+        parent = self.ctx.parents.get(node)
+        if (
+            isinstance(parent, ast.Call)
+            and node in parent.args
+            and self.ctx.canonical_call(parent) in _ORDER_INSENSITIVE
+        ):
+            self.generic_visit(node)
+            return
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # A set comprehension over a set stays unordered — fine.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.canonical_call(node)
+        if name in _SET_CONSUMERS and node.args and (
+            _is_set_expr(self.ctx, node.args[0])
+            or self._known_set(node.args[0])
+        ):
+            self._flag_if_set(node.args[0], f"{name}(...)")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            self._flag_if_set(node.args[0], "str.join(...)")
+        self.generic_visit(node)
+
+
+@rule(
+    "set-order",
+    "determinism",
+    "no raw set iteration feeding ordered output (reports, joins, "
+    "lists); iterate sorted(the_set) instead",
+    scope=_SIM_SCOPE,
+    bad_example=(
+        "def lines(paths):\n"
+        "    hot = set(paths)\n"
+        "    return [f'{p}' for p in hot]\n"
+    ),
+    bad_lines=(3,),
+    good_example=(
+        "def lines(paths):\n"
+        "    hot = set(paths)\n"
+        "    return [f'{p}' for p in sorted(hot)]\n"
+    ),
+)
+def check_set_order(ctx: FileContext) -> list[Diagnostic]:
+    visitor = _SetIterVisitor(ctx)
+    visitor.visit(ctx.tree)
+    return visitor.diagnostics

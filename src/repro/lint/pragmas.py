@@ -1,0 +1,93 @@
+"""The ``# reprolint:`` pragma dialect.
+
+Two comment forms are recognised::
+
+    call()  # reprolint: disable=rule-a,rule-b -- justification text
+    class Foo:  # reprolint: pool-boundary -- crosses the --jobs pool
+
+``disable`` silences the named rules on that physical line only, and
+the ``--``-prefixed justification is mandatory: a bare disable is a
+finding in its own right (the ``pragma`` meta family), so the tree can
+never accumulate silent opt-outs.  ``pool-boundary`` marks a class as
+crossing the process-pool boundary, opting it into the pool-safety
+family without touching the built-in registry.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Pragma", "scan_pragmas", "scan_pool_markers"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*disable\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s-]+?)"
+    r"(?:\s+--\s*(?P<why>\S.*))?\s*$"
+)
+
+_MARKER_RE = re.compile(r"#\s*reprolint:\s*pool-boundary\b")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One ``disable=`` comment on one physical line."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+    def disables(self, rule_name: str) -> bool:
+        return rule_name in self.rules
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """(line, text) for every real COMMENT token — pragma-shaped text
+    inside strings and docstrings is not a pragma."""
+    comments: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unterminated constructs: fall back to whatever was collected.
+        pass
+    return comments
+
+
+def scan_pragmas(source: str) -> dict[int, Pragma]:
+    """Map 1-indexed line number -> pragma for every disable comment."""
+    pragmas: dict[int, Pragma] = {}
+    for lineno, text in _comment_tokens(source):
+        if "reprolint" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        pragmas[lineno] = Pragma(
+            line=lineno,
+            rules=rules,
+            justification=(match.group("why") or "").strip(),
+        )
+    return pragmas
+
+
+def scan_pool_markers(source: str) -> frozenset[int]:
+    """1-indexed line numbers carrying a ``pool-boundary`` marker."""
+    return frozenset(
+        lineno
+        for lineno, text in _comment_tokens(source)
+        if "reprolint" in text and _MARKER_RE.search(text)
+    )

@@ -1,0 +1,85 @@
+"""Registry self-test: prove every rule still fires.
+
+``repro lint --self-test`` parses each registered rule's embedded bad
+snippet and asserts the rule reports exactly the expected lines, and
+that the good snippet is clean.  A checker that silently stopped
+matching (an ast refactor, a renamed node field) fails here in
+milliseconds instead of letting violations through CI unseen.  The
+registry's structural contract (every family populated, ≥3 rules per
+checker family, unique names) is verified too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .core import Linter
+from .registry import all_rules, families
+
+__all__ = ["SelfTestReport", "run_selftest"]
+
+#: Checker families that must each carry at least this many rules.
+_MIN_RULES = {"determinism": 3, "hooks": 3, "pools": 3}
+
+
+@dataclass
+class SelfTestReport:
+    checked: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        lines = [
+            f"reprolint self-test: {status} "
+            f"({self.checked} rules checked, {len(self.failures)} "
+            "failures)"
+        ]
+        lines.extend(f"  {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+def run_selftest() -> SelfTestReport:
+    report = SelfTestReport()
+    grouped = families()
+    for family, minimum in _MIN_RULES.items():
+        have = len(grouped.get(family, ()))
+        if have < minimum:
+            report.failures.append(
+                f"family {family!r} has {have} rules, expected >= {minimum}"
+            )
+    for r in all_rules():
+        report.checked += 1
+        if not r.bad_example or not r.bad_lines:
+            if r.family == "pragma":
+                continue  # meta rules are exercised by the driver tests
+            report.failures.append(f"{r.name}: no bad_example registered")
+            continue
+        linter = Linter([r], respect_scope=False)
+        bad = [
+            d for d in linter.lint_source(r.bad_example, path=f"<{r.name}>")
+            if d.rule == r.name
+        ]
+        got = tuple(sorted({d.line for d in bad}))
+        if got != tuple(sorted(r.bad_lines)):
+            report.failures.append(
+                f"{r.name}: bad_example reported lines {got}, "
+                f"expected {tuple(sorted(r.bad_lines))}"
+            )
+        if r.good_example:
+            good = [
+                d
+                for d in linter.lint_source(
+                    r.good_example, path=f"<{r.name}:good>"
+                )
+                if d.rule == r.name
+            ]
+            if good:
+                report.failures.append(
+                    f"{r.name}: good_example unexpectedly reported "
+                    f"lines {sorted(d.line for d in good)}"
+                )
+    return report

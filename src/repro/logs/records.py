@@ -15,7 +15,7 @@ Two levels of representation are used throughout:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Mapping, Sequence
 
 __all__ = [

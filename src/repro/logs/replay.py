@@ -32,7 +32,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
 from .records import Request
-from .sampling import ClientSampler, request_client_key
+from .sampling import ClientSampler
 
 __all__ = [
     "TraceSummary",

@@ -17,7 +17,6 @@ from typing import Iterable
 from ..logs.records import LogRecord
 from ..logs.sessions import (
     DEFAULT_SESSION_TIMEOUT,
-    Session,
     looks_dynamic,
     looks_embedded,
     sessionize,

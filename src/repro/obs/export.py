@@ -15,7 +15,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from .telemetry import MergedTelemetry, TelemetrySummary
 from .timeline import TimelineWindow

@@ -36,7 +36,9 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING, Callable, Mapping, Protocol, runtime_checkable,
+)
 
 from ..core.config import SimulationParams
 from ..logs.records import Request, Trace
@@ -66,6 +68,10 @@ __all__ = [
 #: that pump bookkeeping is noise, small enough that calendar memory no
 #: longer scales with trace length.
 DEFAULT_ARRIVAL_WINDOW = 4096
+
+#: Signature of a per-request completion callback:
+#: ``on_complete(server_id, hit)`` fires when the response finishes.
+CompletionCallback = Callable[[int, bool], None]
 
 
 class _ArrivalPump:
@@ -150,7 +156,7 @@ class _RequestFlow:
         req: Request,
         server: "BackendServer",
         latency: float,
-        on_complete,
+        on_complete: CompletionCallback | None,
     ) -> None:
         self.cluster = cluster
         self.req = req
@@ -394,7 +400,9 @@ class ClusterSimulator:
 
     # -- injection mode (closed-loop drivers) --------------------------------
 
-    def inject(self, req: Request, on_complete=None) -> None:
+    def inject(
+        self, req: Request, on_complete: CompletionCallback | None = None
+    ) -> None:
         """Present one request to the front end *now* (injection mode).
 
         ``req.arrival`` should equal the current simulation time; the
@@ -432,7 +440,9 @@ class ClusterSimulator:
             self._connections[conn_id] = state
         return state
 
-    def _on_arrival(self, req: Request, on_complete=None) -> None:
+    def _on_arrival(
+        self, req: Request, on_complete: CompletionCallback | None = None
+    ) -> None:
         if self.replicator is not None:
             self.replicator.observe(req.path, self.sim.now)
         if self.tracer is not None:
@@ -501,7 +511,7 @@ class ClusterSimulator:
         self._issue_prefetches(decision)
 
     def _on_done(self, req: Request, server_id: int, hit: bool,
-                 on_complete=None) -> None:
+                 on_complete: CompletionCallback | None = None) -> None:
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, "complete", req.conn_id, req.path,
                              server=server_id, hit=hit,

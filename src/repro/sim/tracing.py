@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 __all__ = ["TraceEvent", "RequestTracer", "events_from_jsonl"]

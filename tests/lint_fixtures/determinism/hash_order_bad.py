@@ -1,0 +1,13 @@
+"""Bad: builtin hash() feeding ordering / partitioning."""
+
+
+def shard_of(path: str, n: int) -> int:
+    return hash(path) % n  # expect: hash-order
+
+
+def ordered(paths):
+    return sorted(paths, key=lambda p: hash(p))  # expect: hash-order
+
+
+def pick_first(a: str, b: str) -> str:
+    return a if hash(a) < hash(b) else b  # expect: hash-order

@@ -1,0 +1,11 @@
+"""Good: order by explicit, stable keys — never by hash()."""
+
+
+def shard(name: str, n: int) -> int:
+    # Stable across processes regardless of PYTHONHASHSEED.
+    total = sum(name.encode("utf-8"))
+    return total % n
+
+
+def ranked(names: list[str]) -> list[str]:
+    return sorted(names)

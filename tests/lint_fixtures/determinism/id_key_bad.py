@@ -1,0 +1,19 @@
+"""Bad: id()-keyed containers cross-wire recycled objects."""
+
+pending = {}
+seen = set()
+
+
+def track(req, cb):
+    pending[id(req)] = cb  # expect: id-key
+
+
+def lookup(req):
+    return pending.get(id(req))  # expect: id-key
+
+
+def note(req) -> bool:
+    if id(req) in seen:  # expect: id-key
+        return False
+    seen.add(id(req))  # expect: id-key
+    return True

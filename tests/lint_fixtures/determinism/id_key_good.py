@@ -1,0 +1,12 @@
+"""Good: key by the object itself or an explicit sequence number."""
+
+
+def track(flows, req, cb) -> None:
+    # The callback rides the in-flight record, keyed by identity of the
+    # live object, never its recycled integer id.
+    flows.append((req, cb))
+
+
+def debug_label(req) -> str:
+    # id() purely for display (not a container key) is fine.
+    return f"req-{id(req):#x}"

@@ -1,0 +1,19 @@
+"""Bad: raw set iteration feeding ordered output."""
+
+
+def report_lines(paths):
+    hot = set(paths)
+    return [f"{p}" for p in hot]  # expect: set-order
+
+
+def banner(tags) -> str:
+    return ", ".join({t.lower() for t in tags})  # expect: set-order
+
+
+def as_rows(a, b):
+    return list(set(a) | set(b))  # expect: set-order
+
+
+def walk(paths):
+    for p in frozenset(paths):  # expect: set-order
+        yield p

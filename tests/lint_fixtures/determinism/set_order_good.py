@@ -1,0 +1,16 @@
+"""Good: sorted iteration, or order-insensitive consumption."""
+
+
+def report_lines(paths):
+    hot = set(paths)
+    return [f"{p}" for p in sorted(hot)]
+
+
+def banner(tags) -> str:
+    return ", ".join(sorted({t.lower() for t in tags}))
+
+
+def total(sizes) -> int:
+    # min/max/all/any over a set are order-insensitive.
+    unique = set(sizes)
+    return max(unique) if all(s >= 0 for s in unique) else 0

@@ -1,0 +1,27 @@
+"""Bad: unseeded / global-state randomness."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def pick(items):
+    return random.choice(items)  # expect: unseeded-random
+
+
+def jitter() -> float:
+    return np.random.rand()  # expect: unseeded-random
+
+
+def reseed() -> None:
+    np.random.seed(0)  # expect: unseeded-random
+
+
+def token() -> str:
+    return uuid.uuid4().hex  # expect: unseeded-random
+
+
+def entropy() -> bytes:
+    return os.urandom(8)  # expect: unseeded-random

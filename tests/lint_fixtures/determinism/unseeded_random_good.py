@@ -1,0 +1,17 @@
+"""Good: explicitly seeded generators threaded through."""
+
+import random
+
+import numpy as np
+
+
+def pick(items, seed: int):
+    rng = np.random.default_rng(seed)
+    return items[rng.integers(len(items))]
+
+
+def shuffle(items, seed: int):
+    rng = random.Random(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out

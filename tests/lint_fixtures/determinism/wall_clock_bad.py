@@ -1,0 +1,21 @@
+"""Bad: wall-clock reads in simulation code."""
+
+import time
+from datetime import date, datetime
+
+
+def stamp_run() -> float:
+    return time.time()  # expect: wall-clock
+
+
+def label_run() -> str:
+    started = datetime.now()  # expect: wall-clock
+    return started.isoformat()
+
+
+def label_day() -> str:
+    return str(date.today())  # expect: wall-clock
+
+
+def split_now() -> int:
+    return time.localtime().tm_hour  # expect: wall-clock

@@ -1,0 +1,16 @@
+"""Good: monotonic durations and pure timestamp conversion."""
+
+import time
+
+
+def elapsed(t0: float) -> float:
+    return time.monotonic() - t0
+
+
+def profile(t0: float) -> float:
+    return time.perf_counter() - t0
+
+
+def hour_of(timestamp: float) -> int:
+    # Converting an *explicit* timestamp is deterministic.
+    return time.gmtime(timestamp).tm_hour

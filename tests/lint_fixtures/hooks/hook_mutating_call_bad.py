@@ -1,0 +1,23 @@
+"""Bad: an on_event observer calling mutating engine methods."""
+
+
+class Scheduler:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        sim.on_event = self._on_event
+
+    def _on_event(self, time: float) -> None:
+        self.sim.schedule(1.0, self._tick)  # expect: hook-mutating-call
+
+    def _tick(self) -> None:
+        pass
+
+
+class Warmer:
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        cluster.sim.on_event = self._on_event
+
+    def _on_event(self, time: float) -> None:
+        cache = self.cluster.servers[0].cache
+        cache.put("/hot.html", 1024)  # expect: hook-mutating-call

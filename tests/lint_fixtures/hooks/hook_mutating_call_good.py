@@ -1,0 +1,15 @@
+"""Good: observers only read engine state; locals are fair game."""
+
+
+class Sampler:
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.samples = []
+        cluster.sim.on_event = self._on_event
+
+    def _on_event(self, time: float) -> None:
+        # Reading queue lengths and appending to own state: pure.
+        depths = [s.cpu.queue_length for s in self.cluster.servers]
+        self.samples.append((time, max(depths, default=0)))
+        scratch = {}
+        scratch.setdefault("last", time)  # a hook-local dict

@@ -1,0 +1,17 @@
+"""Bad: an on_event observer writing engine/cluster state."""
+
+
+class Meddler:
+    def attach(self, cluster) -> None:
+        self.cluster = cluster
+        cluster.sim.on_event = self._on_event
+
+    def _on_event(self, time: float) -> None:
+        self.cluster.warmup_fraction = 0.0  # expect: hook-state-write
+
+
+def install(engine, flag_holder) -> None:
+    def on_event(time: float) -> None:
+        flag_holder.dirty = True  # expect: hook-state-write
+
+    engine.on_event = on_event

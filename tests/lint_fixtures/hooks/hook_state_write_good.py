@@ -1,0 +1,16 @@
+"""Good: observers only touch their own counters and locals."""
+
+
+class Watcher:
+    def attach(self, cluster) -> None:
+        self.cluster = cluster
+        self.events = 0
+        self.last_time = float("-inf")
+        cluster.sim.on_event = self._on_event
+
+    def _on_event(self, time: float) -> None:
+        # Writes to the observer's *own* state are fine.
+        self.events += 1
+        self.last_time = max(self.last_time, time)
+        snapshot = {"t": time, "n": self.events}
+        snapshot["seen"] = self.events  # a hook-local object

@@ -1,0 +1,13 @@
+"""Bad: the hook is clean, but a helper it calls mutates state."""
+
+
+class Sweeper:
+    def attach(self, cluster) -> None:
+        self.cluster = cluster
+        cluster.sim.on_event = self._on_event
+
+    def _on_event(self, time: float) -> None:
+        self._sweep()  # expect: hook-transitive
+
+    def _sweep(self) -> None:
+        self.cluster.trace = None

@@ -1,0 +1,18 @@
+"""Good: helpers reached from the hook only read."""
+
+
+class Auditor:
+    def attach(self, cluster) -> None:
+        self.cluster = cluster
+        self.checks = 0
+        self.violations = []
+        cluster.sim.on_event = self._on_event
+
+    def _on_event(self, time: float) -> None:
+        self._sweep(time)
+
+    def _sweep(self, time: float) -> None:
+        self.checks += 1
+        for server in self.cluster.servers:
+            if server.cache.resident_bytes > server.cache.capacity_bytes:
+                self.violations.append((time, server.server_id))

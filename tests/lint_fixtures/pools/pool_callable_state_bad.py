@@ -1,0 +1,11 @@
+"""Bad: callables captured in pool-crossing instance state."""
+
+
+class Cell:
+    def __init__(self, policy_name: str, factor: float) -> None:
+        self.make = lambda: policy_name.upper()  # expect: pool-callable-state
+
+        def scale(x: float) -> float:
+            return x * factor
+
+        self.scale = scale  # expect: pool-callable-state

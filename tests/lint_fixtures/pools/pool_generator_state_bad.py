@@ -1,0 +1,12 @@
+"""Bad: one-shot iterators in pool-crossing instance state."""
+
+
+class _GridContext:
+    def __init__(self, cells, paths) -> None:
+        self.cells = (c for c in cells)  # expect: pool-generator-state
+        self.paths = map(str, paths)  # expect: pool-generator-state
+
+
+class Spec:  # reprolint: pool-boundary
+    def __init__(self, items) -> None:
+        self.items = iter(items)  # expect: pool-generator-state

@@ -1,0 +1,7 @@
+"""Good: materialize before shipping across the pool."""
+
+
+class _GridContext:
+    def __init__(self, cells, paths) -> None:
+        self.cells = tuple(c for c in cells)
+        self.paths = [str(p) for p in paths]

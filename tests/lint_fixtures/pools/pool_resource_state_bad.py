@@ -1,0 +1,11 @@
+"""Bad: OS resources held in pool-crossing instance state."""
+
+import gzip
+import threading
+
+
+class MinedModels:
+    def __init__(self, path: str) -> None:
+        self.fp = open(path)  # expect: pool-resource-state
+        self.gz = gzip.open(path + ".gz")  # expect: pool-resource-state
+        self.lock = threading.Lock()  # expect: pool-resource-state

@@ -1,0 +1,10 @@
+"""Good: store the path, open (and close) where the work happens."""
+
+
+class MinedModels:
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def read(self) -> str:
+        with open(self.path) as fp:
+            return fp.read()

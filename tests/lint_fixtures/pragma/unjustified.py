@@ -1,0 +1,7 @@
+"""An undocumented disable is itself an error — and silences nothing."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # reprolint: disable=wall-clock

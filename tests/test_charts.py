@@ -1,6 +1,5 @@
 """Tests for the terminal chart helpers."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.experiments import bar_chart, grouped_bar_chart, sparkline

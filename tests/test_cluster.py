@@ -8,7 +8,6 @@ from repro.policies import (
     ExtLARDPolicy,
     LARDPolicy,
     PRORDComponents,
-    PRORDFeatures,
     PRORDPolicy,
     WRRPolicy,
 )

@@ -123,7 +123,7 @@ class TestClusterDynamicRouting:
         params = SimulationParams(n_backends=2, cache_bytes=1 << 20)
         cluster = ClusterSimulator(self.make_trace(), WRRPolicy(), params,
                                    warmup_fraction=0.0)
-        result = cluster.run()
+        cluster.run()
         dyn_recs = [r for r in cluster.metrics.records if not r.hit]
         assert len(dyn_recs) >= 6
 

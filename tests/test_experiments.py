@@ -5,12 +5,10 @@ These assert the *qualitative* findings of the paper's evaluation
 flips a comparison fails CI.  Absolute numbers are not asserted.
 """
 
-from dataclasses import replace
 
 import pytest
 
 from repro.experiments import (
-    QUICK,
     ExperimentScale,
     format_table,
     loaded_workload,
@@ -88,7 +86,7 @@ class TestFig8Shape:
                                cache_fraction=0.1)
         large = run_comparison(workload, ("lard", "prord"), TINY,
                                cache_fraction=1.0)
-        gap_small = abs(small["prord"].hit_rate - small["lard"].hit_rate)
+
         # At full memory both policies approach perfect hit rates.
         assert large["lard"].hit_rate > 0.9
         assert large["prord"].hit_rate > 0.9

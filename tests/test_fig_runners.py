@@ -1,6 +1,5 @@
 """Direct tests of the figure-runner functions at a micro scale."""
 
-import pytest
 
 from repro.experiments import (
     ExperimentScale,

@@ -16,11 +16,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.system import run_policy
 from repro.logs import Request, Trace
-from repro.logs.replay import (
-    ScaledRequestSource,
-    SidecarRequestSource,
-    TraceSummary,
-)
+from repro.logs.replay import SidecarRequestSource
 from repro.logs.store import _save_trace_meta, load_workload, save_workload
 from repro.logs.workloads import synthetic_workload
 from repro.sim import ClusterSimulator
