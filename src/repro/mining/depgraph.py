@@ -65,6 +65,11 @@ class DependencyGraph:
         self._links: dict[str, set[str]] = {}
         #: context (1..order trailing pages) -> Counter of next page
         self._counts: dict[tuple[str, ...], Counter[str]] = {}
+        #: context -> running total of its counter (kept alongside the
+        #: Counter so the per-request candidate query skips the
+        #: ``sum(counter.values())`` pass; integer sums, so the values
+        #: are exact either way)
+        self._totals: dict[tuple[str, ...], int] = {}
         self._trained_sequences = 0
 
     # -- training ----------------------------------------------------------
@@ -75,12 +80,14 @@ class DependencyGraph:
         for a, b in zip(pages, pages[1:]):
             if a != b:
                 self._links.setdefault(a, set()).add(b)
+        totals = self._totals
         for i in range(1, len(pages)):
             nxt = pages[i]
             max_ctx = min(self.order, i)
             for ctx_len in range(1, max_ctx + 1):
                 ctx = tuple(pages[i - ctx_len:i])
                 self._counts.setdefault(ctx, Counter())[nxt] += 1
+                totals[ctx] = totals.get(ctx, 0) + 1
         self._trained_sequences += 1
 
     def train(self, sequences: Iterable[Sequence[str]]) -> "DependencyGraph":
@@ -92,8 +99,16 @@ class DependencyGraph:
     def record_transition(self, prev: str, nxt: str) -> None:
         """Online update of a single observed transition (dynamic mining)."""
         if prev != nxt:
-            self._links.setdefault(prev, set()).add(nxt)
-        self._counts.setdefault((prev,), Counter())[nxt] += 1
+            links = self._links.get(prev)
+            if links is None:
+                links = self._links[prev] = set()
+            links.add(nxt)
+        key = (prev,)
+        counter = self._counts.get(key)
+        if counter is None:
+            counter = self._counts[key] = Counter()
+        counter[nxt] += 1
+        self._totals[key] = self._totals.get(key, 0) + 1
 
     # -- queries -----------------------------------------------------------
 
@@ -125,17 +140,29 @@ class DependencyGraph:
         no suffix of ``context`` has been observed.  Confidence of page
         ``p`` is ``count(context -> p) / count(context -> anything)``.
         """
+        counter, total, ctx_len = self.candidate_counts(context)
+        if counter is None:
+            return {}, 0
+        return {page: n / total for page, n in counter.items()}, ctx_len
+
+    def candidate_counts(
+        self, context: Sequence[str]
+    ) -> tuple[Counter[str] | None, int, int]:
+        """Raw form of :meth:`candidates`: ``(counter, total, matched)``.
+
+        The hot prefetch path divides only the entries it keeps, so it
+        asks for the counts instead of a fully normalised mapping
+        (``n / total`` on demand gives the same floats).  The returned
+        counter is the live one — callers must not mutate it.
+        """
         ctx = list(context)[-self.order:]
+        counts = self._counts
         for ctx_len in range(len(ctx), 0, -1):
             key = tuple(ctx[-ctx_len:])
-            counter = self._counts.get(key)
+            counter = counts.get(key)
             if counter:
-                total = sum(counter.values())
-                return (
-                    {page: n / total for page, n in counter.items()},
-                    ctx_len,
-                )
-        return {}, 0
+                return counter, self._totals[key], ctx_len
+        return None, 0, 0
 
     def predict(self, context: Sequence[str]) -> Prediction | None:
         """Most confident next page for ``context``, or None if unseen."""

@@ -37,7 +37,7 @@ __all__ = ["ModelCache", "mining_fingerprint", "cached_mine_models"]
 
 #: Bump when the pickle payload's meaning changes (new MinedModels
 #: fields, different mining semantics) to invalidate old entries.
-CACHE_SCHEMA = "prord-mined-models/v1"
+CACHE_SCHEMA = "prord-mined-models/v2"  # v2: DependencyGraph._totals
 
 
 def mining_fingerprint(

@@ -144,8 +144,16 @@ class PopularityTracker:
 
     def record(self, path: str, now: float) -> None:
         """Register one hit on ``path`` at simulation time ``now``."""
-        self._decay_to(now)
-        idx = self._index.get(path)
+        # _decay_to inlined: this runs once per routed request.
+        last = self._last_update
+        if now < last:
+            raise ValueError("time must not run backwards")
+        index = self._index
+        n = len(index)
+        if now > last and n:
+            self._arr[:n] *= math.exp(-self._lambda * (now - last))
+        self._last_update = now
+        idx = index.get(path)
         if idx is None:
             idx = self._slot(path)
         self._arr[idx] += 1.0

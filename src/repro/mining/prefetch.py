@@ -96,6 +96,9 @@ class PrefetchPredictor:
         self.top_k = top_k
         self._sequences: dict[int, Deque[str]] = {}
         self._pending: dict[int, set[str]] = {}
+        # Duck-typed predictors (PPM) expose only the normalised
+        # ``candidates`` surface; the raw-counts fast path is optional.
+        self._candidate_counts = getattr(graph, "candidate_counts", None)
         self.stats = PrefetchStats()
 
     def observe(self, conn_id: int, page: str) -> PrefetchDecision | None:
@@ -135,12 +138,27 @@ class PrefetchPredictor:
             self.graph.record_transition(seq[-1], page)
         seq.append(page)
 
-        candidates, _ = self.graph.candidates(seq)
-        picked = sorted(
-            ((conf, p) for p, conf in candidates.items()
-             if p != page and conf > self.threshold),
-            key=lambda e: (-e[0], e[1]),
-        )[:k]
+        threshold = self.threshold
+        if self._candidate_counts is not None:
+            counter, total, _ = self._candidate_counts(seq)
+            if counter is None:
+                return []
+            # ``n / total`` here is the same division candidates()
+            # performs when normalising, so the confidences are
+            # bit-identical — this just skips building the full mapping
+            # for entries the threshold drops anyway.
+            picked = sorted(
+                ((n / total, p) for p, n in counter.items()
+                 if p != page and n / total > threshold),
+                key=lambda e: (-e[0], e[1]),
+            )[:k]
+        else:
+            scores, _ = self.graph.candidates(seq)
+            picked = sorted(
+                ((conf, p) for p, conf in scores.items()
+                 if p != page and conf > threshold),
+                key=lambda e: (-e[0], e[1]),
+            )[:k]
         if not picked:
             return []
         self.stats.predictions += len(picked)

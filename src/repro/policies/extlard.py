@@ -40,20 +40,41 @@ class ExtLARDPolicy(Policy):
         )
         self._assignment: dict[str, int] = {}
         self._conn_server: dict[int, int] = {}
+        self._forward_decisions: tuple[RoutingDecision, ...] | None = None
+
+    def bind(self, cluster) -> None:
+        super().bind(cluster)
+        self._forward_decisions = tuple(
+            RoutingDecision(server_id=i, dispatched=True, forwarded=True)
+            for i in range(len(cluster.servers))
+        )
 
     def _lard_target(self, path: str) -> int:
-        servers = self.cluster.servers
-        params = self.cluster.params
+        # Aron et al.'s plain imbalance test — deliberately *without*
+        # the min < load//2 refinement LARD/PRORD use here (see
+        # Policy.overloaded): the baseline keeps its original behaviour.
         target = self._assignment.get(path)
-        if target is not None and not servers[target].up:
-            target = None
-        if target is not None:
-            load = servers[target].load
-            if load > 2 * params.lard_t_high or (
-                load > params.lard_t_high
-                and any(s.load < params.lard_t_low for s in servers)
+        loads = self._loads
+        if (target is not None and loads is not None
+                and not self._downs[0]):  # type: ignore[index]
+            load = loads[target]
+            t_high = self._t_high
+            if load > 2 * t_high or (
+                load > t_high and min(loads) < self._t_low
             ):
                 target = None
+        elif target is not None:
+            servers = self.cluster.servers
+            params = self.cluster.params
+            if not servers[target].up:
+                target = None
+            else:
+                load = servers[target].load
+                if load > 2 * params.lard_t_high or (
+                    load > params.lard_t_high
+                    and any(s.load < params.lard_t_low for s in servers)
+                ):
+                    target = None
         if target is None:
             target = self.least_loaded()
             self._assignment[path] = target
@@ -62,22 +83,37 @@ class ExtLARDPolicy(Policy):
     def route(self, request: Request) -> RoutingDecision:
         target = self._lard_target(request.path)
         bound = self._conn_server.get(request.conn_id)
+        cached = self._dispatch_decisions
         if bound is None:
             # First request: the connection is handed off to the target.
             self._conn_server[request.conn_id] = target
+            if cached is not None:
+                return cached[target]
             return RoutingDecision(server_id=target, dispatched=True)
         if self.mode == "handoff":
             if target != bound:
                 self._conn_server[request.conn_id] = target
+            if cached is not None:
+                return cached[target]
             return RoutingDecision(server_id=target, dispatched=True)
         # Forwarding mode: connection stays at `bound`; remote content is
         # served remotely and relayed.  A crashed bound backend forces a
-        # rebind (the client reconnects through the switch).
-        if not self.cluster.servers[bound].up:
+        # rebind (the client reconnects through the switch); with a zero
+        # down-count the liveness check is skipped outright.
+        downs = self._downs
+        if ((downs is None or downs[0])
+                and not self.cluster.servers[bound].up):
             self._conn_server[request.conn_id] = target
+            if cached is not None:
+                return cached[target]
             return RoutingDecision(server_id=target, dispatched=True)
         if target == bound:
+            if cached is not None:
+                return cached[target]
             return RoutingDecision(server_id=target, dispatched=True)
+        forwarded = self._forward_decisions
+        if forwarded is not None:
+            return forwarded[target]
         return RoutingDecision(server_id=target, dispatched=True,
                                forwarded=True)
 

@@ -41,25 +41,19 @@ class LARDPolicy(Policy):
     def _rebalance_needed(self, server_id: int) -> bool:
         """Pai et al.'s imbalance test, refined: a move must have a
         materially less-loaded destination, otherwise re-homing a target
-        during cluster-wide overload only duplicates its disk work."""
-        servers = self.cluster.servers
-        params = self.cluster.params
-        if not servers[server_id].up:
-            return True
-        load = servers[server_id].load
-        min_load = min(s.load for s in servers)
-        if load > 2 * params.lard_t_high and min_load < load // 2:
-            return True
-        if load > params.lard_t_high and min_load < params.lard_t_low:
-            return True
-        return False
+        during cluster-wide overload only duplicates its disk work.
+        (Shared with PRORD — see :meth:`Policy.overloaded`.)"""
+        return self.overloaded(server_id)
 
     def route(self, request: Request) -> RoutingDecision:
         path = request.path
         target = self._assignment.get(path)
-        if target is None or self._rebalance_needed(target):
+        if target is None or self.overloaded(target):
             target = self.least_loaded()
             self._assignment[path] = target
+        cached = self._dispatch_decisions
+        if cached is not None:
+            return cached[target]
         return RoutingDecision(server_id=target, dispatched=True)
 
     @property
@@ -93,23 +87,39 @@ class LARDReplicationPolicy(Policy):
     def route(self, request: Request) -> RoutingDecision:
         path = request.path
         servers = self.cluster.servers
-        params = self.cluster.params
         now = self.cluster.now
         members = self._server_sets.get(path)
-        if members:
+        loads = self._loads
+        all_up = loads is not None and not self._downs[0]  # type: ignore[index]
+        if members and not all_up:
+            # Drop crashed members (skipped while everything is up —
+            # the intersection would be a per-request no-op set build).
             members &= {s.server_id for s in servers if s.up}
         if not members:
             target = self.least_loaded()
             self._server_sets[path] = {target}
             self._last_grown[path] = now
+            cached = self._dispatch_decisions
+            if cached is not None:
+                return cached[target]
             return RoutingDecision(server_id=target, dispatched=True)
 
-        target = self.least_loaded(sorted(members))
-        load = servers[target].load
-        overloaded = load > 2 * params.lard_t_high or (
-            load > params.lard_t_high
-            and any(s.load < params.lard_t_low for s in servers)
-        )
+        # least_loaded is order-independent ((load, id) keys), so the
+        # member set goes in as-is.
+        target = self.least_loaded(members)
+        if all_up:
+            load = loads[target]
+            t_high = self._t_high
+            overloaded = load > 2 * t_high or (
+                load > t_high and min(loads) < self._t_low
+            )
+        else:
+            params = self.cluster.params
+            load = servers[target].load
+            overloaded = load > 2 * params.lard_t_high or (
+                load > params.lard_t_high
+                and any(s.load < params.lard_t_low for s in servers)
+            )
         if overloaded and len(members) < len(servers):
             joiner = self.least_loaded(
                 [i for i in range(len(servers)) if i not in members]
@@ -123,6 +133,9 @@ class LARDReplicationPolicy(Policy):
             if victim != target:
                 members.discard(victim)
             self._last_grown[path] = now
+        cached = self._dispatch_decisions
+        if cached is not None:
+            return cached[target]
         return RoutingDecision(server_id=target, dispatched=True)
 
     def replica_count(self, path: str) -> int:

@@ -133,12 +133,30 @@ class PRORDPolicy(Policy):
         self.features = features or PRORDFeatures.all()
         self.max_bundle_prefetch = max_bundle_prefetch
         self.name = name
+        # Feature flags and components are frozen after construction;
+        # hoisted to flat attributes so route() skips two attribute
+        # chases per check.
+        f = self.features
+        self._f_embedded = f.embedded_forwarding
+        self._f_prefetch_routing = f.prefetch_routing
+        self._f_bundle = (f.bundle_prefetch
+                          and self.components.bundles is not None)
+        self._f_nav = (f.nav_prefetch
+                       and self.components.predictor is not None)
+        self._f_locality = f.locality_dispatch
+        self._f_dynamic = f.dynamic_affinity
+        self._bundles = self.components.bundles
+        self._predictor = self.components.predictor
         #: connection -> backend currently holding it
         self._conn_server: dict[int, int] = {}
         #: path -> backend asked to prefetch it (distributor-local table)
         self._prefetch_loc: dict[str, int] = {}
         #: path -> backend it was last distributed to
         self._assignment: dict[str, int] = {}
+        #: dispatcher cached at bind time (None while unbound — readers
+        #: fall back to ``self.cluster.dispatcher``, preserving the
+        #: unbound RuntimeError)
+        self._disp = None
         # Step counters for the Fig. 4 flow (reported by benches; the
         # auditor checks they sum to the number of routed requests).
         self.routed_embedded = 0
@@ -147,6 +165,10 @@ class PRORDPolicy(Policy):
         self.routed_dispatched = 0
         self.routed_dynamic = 0
 
+    def bind(self, cluster) -> None:
+        super().bind(cluster)
+        self._disp = getattr(cluster, "dispatcher", None)
+
     # -- routing helpers ------------------------------------------------------
 
     def _overloaded(self, server_id: int) -> bool:
@@ -154,16 +176,8 @@ class PRORDPolicy(Policy):
         helps when some backend is materially less loaded.  When every
         backend is equally saturated (miss-driven overload), re-homing a
         page just duplicates its disk reads elsewhere, so locality is
-        kept."""
-        servers = self.cluster.servers
-        params = self.cluster.params
-        if not servers[server_id].up:
-            return True
-        load = servers[server_id].load
-        min_load = min(s.load for s in servers)
-        if load > 2 * params.lard_t_high and min_load < load // 2:
-            return True
-        return load > params.lard_t_high and min_load < params.lard_t_low
+        kept.  (Shared with LARD — see :meth:`Policy.overloaded`.)"""
+        return self.overloaded(server_id)
 
     def _dispatch(self, path: str) -> int:
         """Step 4: dispatcher lookup + LARD-style selection.
@@ -178,10 +192,12 @@ class PRORDPolicy(Policy):
         assigned = self._assignment.get(path)
         if assigned is not None and not self._overloaded(assigned):
             return assigned
-        if self.features.locality_dispatch:
-            holders = self.cluster.dispatcher.lookup(path)
+        if self._f_locality:
+            holders = (self._disp or self.cluster.dispatcher).lookup(path)
             if holders:
-                target = self.least_loaded(sorted(holders))
+                # least_loaded is order-independent ((load, id) keys),
+                # so the holder set goes in unsorted.
+                target = self.least_loaded(holders)
                 if not self._overloaded(target):
                     return target
         return self.least_loaded()
@@ -191,15 +207,13 @@ class PRORDPolicy(Policy):
     ) -> tuple[PrefetchDirective, ...]:
         """Bundle + navigation prefetches for a main-page request."""
         directives: list[PrefetchDirective] = []
-        if (self.features.bundle_prefetch
-                and self.components.bundles is not None):
-            objs = self.components.bundles.objects_of(request.path)
+        if self._f_bundle:
+            objs = self._bundles.objects_of(request.path)
             for obj in objs[:self.max_bundle_prefetch]:
                 directives.append(PrefetchDirective(target, obj))
                 self._prefetch_loc[obj] = target
-        if (self.features.nav_prefetch
-                and self.components.predictor is not None):
-            decisions = self.components.predictor.observe_many(
+        if self._f_nav:
+            decisions = self._predictor.observe_many(
                 request.conn_id, request.path
             )
             for decision in decisions:
@@ -212,10 +226,9 @@ class PRORDPolicy(Policy):
                 self._assignment.setdefault(decision.page, nav_target)
                 directives.append(PrefetchDirective(nav_target, decision.page))
                 self._prefetch_loc[decision.page] = nav_target
-                if (self.features.bundle_prefetch
-                        and self.components.bundles is not None):
+                if self._f_bundle:
                     # Prefetch the predicted page's bundle along with it.
-                    objs = self.components.bundles.objects_of(decision.page)
+                    objs = self._bundles.objects_of(decision.page)
                     for obj in objs[:self.max_bundle_prefetch]:
                         directives.append(PrefetchDirective(nav_target, obj))
                         self._prefetch_loc[obj] = nav_target
@@ -231,29 +244,40 @@ class PRORDPolicy(Policy):
         # keep the connection where it is when possible, otherwise
         # balance load — no dispatcher contact, no proactive work
         # (dynamic-content extension; the paper's future-work item).
-        if request.dynamic and self.features.dynamic_affinity:
+        if request.dynamic and self._f_dynamic:
             target = conn_server if conn_server is not None else (
                 self.least_loaded())
             if self._overloaded(target):
                 target = self.least_loaded()
             self._conn_server[request.conn_id] = target
             self.routed_dynamic += 1
+            cached = self._plain_decisions
+            if cached is not None:
+                return cached[target]
             return RoutingDecision(server_id=target, dispatched=False)
 
         # Step 2: embedded objects follow the parent page's backend.
+        # (A zero cluster down-count proves the backend is up without
+        # touching the server object.)
+        downs = self._downs
         if (request.is_embedded
-                and self.features.embedded_forwarding
+                and self._f_embedded
                 and conn_server is not None
-                and self.server_up(conn_server)):
+                and ((downs is not None and not downs[0])
+                     or self.server_up(conn_server))):
             self.routed_embedded += 1
             self._conn_server[request.conn_id] = conn_server
+            cached = self._plain_decisions
+            if cached is not None:
+                return cached[conn_server]
             return RoutingDecision(server_id=conn_server, dispatched=False)
 
         # Step 3a: prefetched object — distributor knows the holder.
-        if self.features.prefetch_routing:
+        if self._f_prefetch_routing:
             loc = self._prefetch_loc.get(path)
             if (loc is not None
-                    and loc in self.cluster.dispatcher.peek(path)
+                    and (self._disp or self.cluster.dispatcher).holds(
+                        path, loc)
                     and not self._overloaded(loc)):
                 self.routed_prefetched += 1
                 return self._decide(request, loc, dispatched=False)
@@ -280,17 +304,22 @@ class PRORDPolicy(Policy):
         else:
             # With forwarding off, embedded objects are ordinary LARD
             # targets: bind them so later requests reuse the backend.
-            if not self.features.embedded_forwarding:
+            if not self._f_embedded:
                 self._assignment[request.path] = target
             prefetches = ()
+        if not prefetches:
+            cached = (self._dispatch_decisions if dispatched
+                      else self._plain_decisions)
+            if cached is not None:
+                return cached[target]
         return RoutingDecision(
             server_id=target, dispatched=dispatched, prefetches=prefetches
         )
 
     def on_connection_close(self, conn_id: int) -> None:
         self._conn_server.pop(conn_id, None)
-        if self.components.predictor is not None:
-            self.components.predictor.close(conn_id)
+        if self._predictor is not None:
+            self._predictor.close(conn_id)
 
     # -- reporting ------------------------------------------------------------------
 

@@ -23,6 +23,14 @@ pushes each arrival with a sequence number pre-reserved from the block
 an eager scheduler would have used, which makes the event order — and
 therefore every result — bit-identical to eager scheduling; the
 property tests replay random traces under both modes to prove it.
+Requests are pulled in chunks so their size-derived service times are
+computed as a batch by the selected kernel (:mod:`repro.sim.kernel`).
+
+Per-request state lives in a struct-of-arrays
+:class:`~repro.sim.soa.FlowTable` shared with the backends: the
+calendar carries integer slot indices via the engine's ``arg`` channel
+and every stage callback is one long-lived bound method, so the demand
+hot path allocates nothing per request beyond the slot columns.
 
 The pump pulls from an iterator, so the trace may be a materialized
 :class:`~repro.logs.records.Trace` *or* a lazy re-iterable
@@ -34,11 +42,15 @@ results are bit-identical (the streamed-replay differential check and
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter, deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import (
-    TYPE_CHECKING, Callable, Mapping, Protocol, runtime_checkable,
+    TYPE_CHECKING, Callable, Mapping, Protocol, Sequence, runtime_checkable,
 )
+
+import numpy as np
 
 from ..core.config import SimulationParams
 from ..logs.records import Request, Trace
@@ -47,8 +59,11 @@ from ..policies.base import Policy, RoutingDecision
 from .audit import AuditSummary, SimulationAuditor
 from .engine import Resource, Simulator
 from .frontend import ConnectionState, Dispatcher
+from .kernel import service_time_arrays
 from .power import PowerManager, PowerReport
 from .server import BackendServer
+from .shard import ShardStats, ShardedSimulator
+from .soa import FlowTable
 from .stats import MetricsCollector, SimulationReport
 from .failures import FailureSchedule
 from .tracing import RequestTracer
@@ -69,36 +84,42 @@ __all__ = [
 #: longer scales with trace length.
 DEFAULT_ARRIVAL_WINDOW = 4096
 
+#: How many requests the pump pulls (and batch-prices) per refill.
+ARRIVAL_REFILL_CHUNK = 256
+
 #: Signature of a per-request completion callback:
 #: ``on_complete(server_id, hit)`` fires when the response finishes.
 CompletionCallback = Callable[[int, bool], None]
 
 
 class _ArrivalPump:
-    """Streams trace arrivals into the calendar, ``window`` at a time.
+    """Streams trace arrivals into the calendar, a chunk at a time.
 
     Eager scheduling pushed all N arrivals (plus N closures) before the
     first event fired.  The pump keeps at most ``window`` arrivals in
-    the calendar: when one fires, the next undispatched arrival is
-    pushed.  Two invariants make this bit-identical to eager mode:
+    the calendar, refilling ``chunk`` at a time as arrivals fire.  Two
+    invariants make this bit-identical to eager mode:
 
     * every arrival carries the sequence number it would have received
       from an eager up-front schedule (a block reserved via
       :meth:`Simulator.reserve_sequences`), so ``(time, seq)`` keys —
       and hence fire order — are unchanged;
-    * arrival ``i + window`` is pushed when arrival ``i`` fires, and
-      traces are time-sorted, so every arrival is in the calendar
-      before its due time and the calendar cannot drain early.
+    * a refill happens during an arrival's fire event, and traces are
+      time-sorted, so every pushed arrival is at/after the current
+      clock, at least one future arrival is always scheduled while any
+      remain, and the calendar cannot drain early.
 
-    The pump is one object and one bound method for the whole trace —
-    arrivals are pulled from the trace iterator one at a time (so a lazy
-    :class:`~repro.logs.replay.RequestSource` is never materialized),
-    recreated relative to trace start lazily, and the pending window
-    rides a deque (fired in trace order by construction).
+    Pulling in chunks is what lets the size-derived service times
+    (transmit, disk read) be priced as one batched kernel call
+    (:func:`repro.sim.kernel.service_time_arrays`) instead of two
+    scalar method calls per request; the per-element results are
+    bit-identical to the scalar path.
     """
 
     __slots__ = ("cluster", "_it", "total", "base_seq", "next_index",
-                 "pending")
+                 "pending", "pending_tx", "pending_disk", "window",
+                 "chunk", "in_calendar", "_fire_cb", "_tx_us", "_disk_ms",
+                 "_disk_us")
 
     def __init__(
         self,
@@ -113,70 +134,120 @@ class _ArrivalPump:
         self.base_seq = base_seq
         self.next_index = 0
         self.pending: deque[Request] = deque()
-        for _ in range(min(window, self.total)):
-            self._push_next()
+        self.pending_tx: deque[float] = deque()
+        self.pending_disk: deque[float] = deque()
+        self.window = window = min(window, self.total)
+        self.chunk = max(1, min(ARRIVAL_REFILL_CHUNK, window))
+        self.in_calendar = 0
+        self._fire_cb = self._fire
+        params = cluster.params
+        self._tx_us = params.transmit_us_per_kb
+        self._disk_ms = params.disk_latency_fixed_ms
+        self._disk_us = params.disk_us_per_kb
+        self._refill(window)
 
-    def _push_next(self) -> None:
+    def _refill(self, n: int) -> None:
+        cluster = self.cluster
         i = self.next_index
-        self.next_index = i + 1
-        req = next(self._it)
-        t0 = self.cluster._t0
+        n = min(n, self.total - i)
+        if n <= 0:
+            return
+        self.next_index = i + n
+        t0 = cluster._t0
         if t0 != 0.0:
             # Rebase to trace start.  Direct construction, not
             # dataclasses.replace(): same values, none of the
             # field-introspection overhead.
-            req = Request(req.arrival - t0, req.conn_id, req.path,
-                          req.size, req.is_embedded, req.parent,
-                          req.client, req.dynamic)
-        self.pending.append(req)
-        self.cluster.sim.schedule_at_reserved(
-            req.arrival, self.base_seq + i, self._fire)
+            batch = [
+                Request(req.arrival - t0, req.conn_id, req.path,
+                        req.size, req.is_embedded, req.parent,
+                        req.client, req.dynamic)
+                for req in islice(self._it, n)
+            ]
+        else:
+            batch = list(islice(self._it, n))
+        tx, disk = service_time_arrays(
+            np.array([r.size for r in batch], dtype=np.float64),
+            self._tx_us, self._disk_ms, self._disk_us,
+        )
+        self.pending.extend(batch)
+        self.pending_tx.extend(tx.tolist())
+        self.pending_disk.extend(disk.tolist())
+        schedule = cluster.sim.schedule_at_reserved
+        fire = self._fire_cb
+        base = self.base_seq
+        for k, req in enumerate(batch, i):
+            schedule(req.arrival, base + k, fire)
+        self.in_calendar += n
 
     def _fire(self) -> None:
-        if self.next_index < self.total:
-            self._push_next()
-        self.cluster._on_arrival(self.pending.popleft())
+        left = self.in_calendar - 1
+        self.in_calendar = left
+        if left <= self.window - self.chunk and self.next_index < self.total:
+            self._refill(self.chunk)
+        self.cluster._route_request(
+            self.pending.popleft(), None,
+            self.pending_tx.popleft(), self.pending_disk.popleft(),
+        )
 
 
-class _RequestFlow:
-    """Front-end → backend journey of one request (slotted record).
+def _arrival_key(req: Request) -> float:
+    return req.arrival
 
-    Replaces the per-request ``deliver``/``after_frontend``/completion
-    closures: the calendar holds bound methods of this record, and the
-    injection-mode completion callback rides the record itself — keyed
-    by identity of the in-flight request, not by ``id(req)`` (object
-    ids can be reused once a request is garbage-collected mid-run).
+
+class _MergedSource:
+    """Several time-sorted sources presented to the pump as one.
+
+    Iteration is a lazy k-way merge on arrival time (ties: earlier
+    source first, each source's internal order preserved — the
+    ``heapq.merge`` rule).  Length, catalog, start and connection
+    counts come from per-source summary state, so nothing is
+    materialised.
+
+    This is also the ``calendar_high_water`` fix for multi-source
+    runs: all sources share **one** arrival pump, so one lookahead
+    window — and one reserved sequence block covering the merged
+    order — bounds the total calendar footprint.  Naive per-source
+    pumps would each keep a full window in the calendar (K sources →
+    K·window high water), and per-source reserved blocks would force
+    eager scheduling of later sources; the regression tests pin the
+    merged bound and the report equality against a materialised
+    :meth:`~repro.logs.records.Trace.merge`.
     """
 
-    __slots__ = ("cluster", "req", "server", "latency", "on_complete")
+    def __init__(self, sources: Sequence["Trace | RequestSource"]) -> None:
+        if not sources:
+            raise ValueError("no sources")
+        self.sources = list(sources)
+        self.name = "+".join(s.name for s in self.sources)
 
-    def __init__(
-        self,
-        cluster: "ClusterSimulator",
-        req: Request,
-        server: "BackendServer",
-        latency: float,
-        on_complete: CompletionCallback | None,
-    ) -> None:
-        self.cluster = cluster
-        self.req = req
-        self.server = server
-        self.latency = latency
-        self.on_complete = on_complete
+    def __iter__(self):
+        return heapq.merge(*self.sources, key=_arrival_key)
 
-    def after_frontend(self) -> None:
-        if self.latency > 0:
-            self.cluster.sim.schedule(self.latency, self.deliver)
-        else:
-            self.deliver()
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.sources)
 
-    def deliver(self) -> None:
-        req = self.req
-        self.server.handle(req.path, req.size, self.done,
-                           dynamic=req.dynamic)
+    @property
+    def start(self) -> float:
+        return min(s.start for s in self.sources)
 
-    def done(self, server_id: int, hit: bool) -> None:
-        self.cluster._on_done(self.req, server_id, hit, self.on_complete)
+    @property
+    def duration(self) -> float:
+        start = self.start
+        return max(s.start + s.duration for s in self.sources) - start
+
+    @property
+    def catalog(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for s in self.sources:
+            merged.update(s.catalog)
+        return merged
+
+    def connection_counts(self) -> Counter:
+        counts: Counter[int] = Counter()
+        for s in self.sources:
+            counts.update(s.connection_counts())
+        return counts
 
 
 @runtime_checkable
@@ -209,6 +280,11 @@ class SimulationResult:
     #: latency histograms, phase profile.  Like the audit layer, pure
     #: observation — the report is bit-identical either way.
     telemetry: "TelemetrySummary | None" = None
+    #: Present when the calendar was sharded (``shards=K``): per-shard
+    #: event counts and the conservative-window protocol counters.  The
+    #: report is bit-identical with and without sharding — the property
+    #: tests prove it at K ∈ {1, 2, 4}.
+    shard_stats: ShardStats | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -239,6 +315,8 @@ class ClusterSimulator:
         materialized :class:`Trace` or a lazy re-iterable
         :class:`~repro.logs.replay.RequestSource`; both replay
         bit-identically, the source without ever holding the requests.
+        A list/tuple of traces/sources replays their lazy arrival-time
+        merge through a single shared pump (see :class:`_MergedSource`).
     policy:
         A bound-on-construction :class:`~repro.policies.base.Policy`.
     params:
@@ -256,11 +334,18 @@ class ClusterSimulator:
         :data:`DEFAULT_ARRIVAL_WINDOW`; ``0`` schedules the whole trace
         eagerly (the legacy mode, kept for the differential property
         tests).  Results are bit-identical across all values.
+    shards:
+        Partition the event calendar into K shards (backends spread
+        contiguously; distributor, front ends and control plane on
+        shard 0) under the conservative-window protocol of
+        :class:`~repro.sim.shard.ShardedSimulator`.  ``None`` (default)
+        uses the plain single-heap engine.  Results are bit-identical
+        for every K, including K=1.
     """
 
     def __init__(
         self,
-        trace: Trace | RequestSource | None,
+        trace: "Trace | RequestSource | Sequence[Trace | RequestSource] | None",
         policy: Policy,
         params: SimulationParams | None = None,
         *,
@@ -274,6 +359,7 @@ class ClusterSimulator:
         auditor: "SimulationAuditor | None" = None,
         telemetry: "Telemetry | None" = None,
         arrival_window: int | None = None,
+        shards: int | None = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
@@ -284,6 +370,11 @@ class ClusterSimulator:
         elif arrival_window < 0:
             raise ValueError("arrival_window must be >= 0")
         self.arrival_window = arrival_window
+        if isinstance(trace, (list, tuple)):
+            # Multiple concurrent sources: merge them lazily so one
+            # pump (one lookahead window, one reserved block) drives
+            # them all — see _MergedSource.
+            trace = _MergedSource(trace)
         if trace is not None and len(trace) == 0:
             raise ValueError("trace is empty")
         if trace is None:
@@ -293,8 +384,19 @@ class ClusterSimulator:
                 raise ValueError("injection mode requires a catalog")
             if window_s is None:
                 raise ValueError("injection mode requires window_s")
-        self.sim = Simulator()
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1 (or None for unsharded)")
         self.params = params or SimulationParams()
+        self.shards = shards
+        if shards is None:
+            self.sim: Simulator = Simulator()
+        else:
+            # Lookahead window W = the minimum inter-shard latency: no
+            # cross-shard interaction lands sooner than one connection
+            # latency on a real cluster's network.
+            self.sim = ShardedSimulator(
+                shards, window_s=self.params.connection_latency_s
+            )
         self.policy = policy
         self.trace = trace
         self.warmup_fraction = warmup_fraction
@@ -309,6 +411,11 @@ class ClusterSimulator:
         self._catalog: Mapping[str, int] = (
             trace.catalog if trace is not None else dict(catalog)
         )
+        #: shared struct-of-arrays per-request state (see repro.sim.soa)
+        self.flows = FlowTable()
+        #: shared crashed-server count ([0] while everything is up) —
+        #: lets policy fast paths skip per-request ``up`` filtering
+        self._down_count: list[int] = [0]
         self.servers: list[BackendServer] = [
             BackendServer(
                 self.sim, i, self.params,
@@ -316,9 +423,16 @@ class ClusterSimulator:
                 on_cache_evict=self.dispatcher.on_evict,
                 future_weights=(dict(future_weights)
                                 if future_weights else None),
+                flows=self.flows,
+                down_counter=self._down_count,
             )
             for i in range(self.params.n_backends)
         ]
+        #: per-server in-flight demand counts, mirroring
+        #: ``servers[i].load`` — a flat int list so policies take
+        #: ``min(loads)`` at C speed instead of a Python genexpr over
+        #: server objects (the LARD/PRORD per-request load scan).
+        self.loads: list[int] = [0] * self.params.n_backends
         # One or more distributor nodes behind a layer-4 switch (Aron et
         # al.'s decentralised design when n_frontends > 1): each
         # connection is pinned to one distributor by hash, as a content-
@@ -363,6 +477,47 @@ class ClusterSimulator:
         policy.bind(self)
         if replicator is not None:
             replicator.bind(self)
+        # Hot-path constants and pre-bound stage callbacks (one bound
+        # method per stage for the whole run).
+        p = self.params
+        self._parse_s = p.frontend_parse_s
+        self._dispatch_s = p.dispatch_s
+        self._handoff_s = p.handoff_s
+        self._conn_latency_s = p.connection_latency_s
+        self._persistent = policy.persistent_connections
+        self._n_servers = len(self.servers)
+        self._single_frontend = (self.frontends[0]
+                                 if len(self.frontends) == 1 else None)
+        self._after_frontend_cb = self._after_frontend
+        self._deliver_cb = self._deliver
+        self._flow_done_cb = self._flow_done
+        if shards is not None:
+            self._register_shard_owners()
+
+    def _register_shard_owners(self) -> None:
+        """Pin components to calendar shards (sharded mode only).
+
+        Backends — the bulk of the event traffic — are spread over the
+        shards in contiguous blocks (``i * K // n``, which also handles
+        K > n by leaving trailing shards empty).  The distributor-side
+        components (cluster, front ends, power/replication control
+        plane) stay on shard 0, the control lane.
+        """
+        sim = self.sim
+        assert isinstance(sim, ShardedSimulator)
+        sim.register_owner(self, 0)
+        for fe in self.frontends:
+            sim.register_owner(fe, 0)
+        sim.register_owner(self.power, 0)
+        if self.replicator is not None:
+            sim.register_owner(self.replicator, 0)
+        k = sim.shards
+        n = len(self.servers)
+        for i, server in enumerate(self.servers):
+            shard = i * k // n
+            sim.register_owner(server, shard)
+            sim.register_owner(server.cpu, shard)
+            sim.register_owner(server.disk, shard)
 
     # -- ClusterView protocol ----------------------------------------------
 
@@ -393,6 +548,9 @@ class ClusterSimulator:
         base_seq = self.sim.reserve_sequences(len(trace))
         window = self.arrival_window or len(trace)
         self._arrival_pump = _ArrivalPump(self, trace, base_seq, window)
+        if isinstance(self.sim, ShardedSimulator):
+            # Arrivals are distributor work: the control lane.
+            self.sim.register_owner(self._arrival_pump, 0)
         if self.replicator is not None:
             self.replicator.start()
         self.sim.run()
@@ -411,8 +569,8 @@ class ClusterSimulator:
         closed-loop drivers use it to pace the next request.
         """
         self._remaining_per_conn[req.conn_id] += 1
-        # The callback travels with this injection's request flow (one
-        # record per in-flight request), so injecting the same Request
+        # The callback travels with this injection's flow slot (one live
+        # slot per in-flight request), so injecting the same Request
         # object twice — or an id()-recycled one — cannot cross wires.
         self._on_arrival(req, on_complete)
 
@@ -443,80 +601,133 @@ class ClusterSimulator:
     def _on_arrival(
         self, req: Request, on_complete: CompletionCallback | None = None
     ) -> None:
+        """Route one request, pricing its service times on the spot.
+
+        The trace path goes through the pump, which batch-prices whole
+        chunks instead; the scalar methods here produce bit-identical
+        values (same expressions, same operation order).
+        """
+        params = self.params
+        self._route_request(req, on_complete,
+                            params.transmit_s(req.size),
+                            params.disk_service_s(req.size))
+
+    def _route_request(
+        self,
+        req: Request,
+        on_complete: CompletionCallback | None,
+        tx_s: float,
+        disk_s: float,
+    ) -> None:
+        now = self.sim.now
         if self.replicator is not None:
-            self.replicator.observe(req.path, self.sim.now)
+            self.replicator.observe(req.path, now)
         if self.tracer is not None:
-            self.tracer.emit(self.sim.now, "arrival", req.conn_id, req.path,
+            self.tracer.emit(now, "arrival", req.conn_id, req.path,
                              embedded=req.is_embedded, dynamic=req.dynamic)
         if self.auditor is not None:
             self.auditor.note_arrival(req)
         decision = self.policy.route(req)
-        if not 0 <= decision.server_id < len(self.servers):
+        server_id = decision.server_id
+        if not 0 <= server_id < self._n_servers:
             raise ValueError(
-                f"policy routed to unknown server {decision.server_id}"
+                f"policy routed to unknown server {server_id}"
             )
-        conn = self._conn_state(req.conn_id)
+        conn_id = req.conn_id
+        conn = self._connections.get(conn_id)
+        if conn is None:
+            conn = ConnectionState(conn_id=conn_id)
+            self._connections[conn_id] = conn
         relay = decision.forwarded and conn.server_id is not None
-        if self.policy.persistent_connections:
+        if self._persistent:
             setup = conn.requests_seen == 0
-            handoff = conn.server_id != decision.server_id and not relay
+            handoff = conn.server_id != server_id and not relay
         else:
             # HTTP/1.0-style: every request is its own connection and
             # gets its own handoff.
             setup = True
             handoff = True
-        if decision.dispatched:
-            self.metrics.count_dispatch()
-        if setup:
-            self.metrics.count_connection()
-        if handoff:
-            self.metrics.count_handoff()
-
+        metrics = self.metrics
         # Front-end CPU work: request analysis, dispatcher contact, and —
         # crucially for the distributor-bottleneck story (§4.2) — the TCP
         # handoff, which migrates connection state and burns 200 µs of
         # distributor time per handed-off request.
-        service = self.params.frontend_parse_s
+        service = self._parse_s
         if decision.dispatched:
-            service += self.params.dispatch_s
+            metrics.dispatches += 1
+            service += self._dispatch_s
         if handoff:
-            service += self.params.handoff_s
+            metrics.handoffs += 1
+            service += self._handoff_s
 
         # Pure network latency added after the front-end work.
         latency = 0.0
         if setup:
-            latency += self.params.connection_latency_s
+            metrics.connections += 1
+            latency += self._conn_latency_s
         if relay:
             # Backend-forwarding: the connection stays at its bound
             # backend; the response is relayed over the interconnect.
-            latency += self.params.transmit_s(req.size)
+            latency += tx_s
         else:
-            conn.server_id = decision.server_id
+            conn.server_id = server_id
         conn.requests_seen += 1
         if not req.is_embedded:
             conn.last_page = req.path
 
-        server = self.servers[decision.server_id]
-        flow = _RequestFlow(self, req, server, latency, on_complete)
+        f = self.flows
+        free = f.free
+        slot = free.pop() if free else f._grow()
+        f.path[slot] = req.path
+        f.size[slot] = req.size
+        f.dynamic[slot] = req.dynamic
+        f.hit[slot] = False
+        f.tx_s[slot] = tx_s
+        f.disk_s[slot] = disk_s
+        f.finish[slot] = self._flow_done_cb
+        f.req[slot] = req
+        f.server[slot] = self.servers[server_id]
+        f.latency[slot] = latency
+        f.on_complete[slot] = on_complete
 
         if self.tracer is not None:
             self.tracer.emit(
-                self.sim.now, "routed", req.conn_id, req.path,
-                server=decision.server_id, dispatched=decision.dispatched,
+                now, "routed", conn_id, req.path,
+                server=server_id, dispatched=decision.dispatched,
                 handoff=handoff, setup=setup, relay=relay,
                 prefetches=len(decision.prefetches),
             )
-        frontend = self.frontends[req.conn_id % len(self.frontends)]
-        frontend.submit(service, flow.after_frontend)
-        self._issue_prefetches(decision)
+        frontend = self._single_frontend
+        if frontend is None:
+            frontend = self.frontends[conn_id % len(self.frontends)]
+        frontend.submit(service, self._after_frontend_cb, arg=slot)
+        if decision.prefetches:
+            self._issue_prefetches(decision)
 
-    def _on_done(self, req: Request, server_id: int, hit: bool,
-                 on_complete: CompletionCallback | None = None) -> None:
+    def _after_frontend(self, slot: int) -> None:
+        latency = self.flows.latency[slot]
+        if latency > 0:
+            self.sim.schedule(latency, self._deliver_cb, slot)
+        else:
+            self._deliver(slot)
+
+    def _deliver(self, slot: int) -> None:
+        server = self.flows.server[slot]
+        self.loads[server.server_id] += 1  # type: ignore[union-attr]
+        server.start_flow(slot)  # type: ignore[union-attr]
+
+    def _flow_done(self, slot: int, server_id: int, hit: bool) -> None:
+        f = self.flows
+        req = f.req[slot]
+        on_complete = f.on_complete[slot]
+        f.release(slot)
+        self.loads[server_id] -= 1
+        now = self.sim.now
         if self.tracer is not None:
-            self.tracer.emit(self.sim.now, "complete", req.conn_id, req.path,
+            self.tracer.emit(now, "complete", req.conn_id, req.path,
                              server=server_id, hit=hit,
-                             response_s=self.sim.now - req.arrival)
-        self.metrics.record_completion(req, self.sim.now, server_id, hit)
+                             response_s=now - req.arrival)
+        self.metrics.record_completion(req, now, server_id, hit)
         if self.auditor is not None:
             self.auditor.note_completion(req, server_id, hit)
         if self.telemetry is not None:
@@ -524,13 +735,15 @@ class ClusterSimulator:
         self.policy.on_complete(req, server_id, hit)
         if on_complete is not None:
             on_complete(server_id, hit)
-        left = self._remaining_per_conn[req.conn_id] - 1
-        self._remaining_per_conn[req.conn_id] = left
+        remaining = self._remaining_per_conn
+        conn_id = req.conn_id
+        left = remaining[conn_id] - 1
+        remaining[conn_id] = left
         if left == 0 and (not self._explicit_close
-                          or req.conn_id in self._closing):
-            self.policy.on_connection_close(req.conn_id)
-            self._connections.pop(req.conn_id, None)
-            self._closing.discard(req.conn_id)
+                          or conn_id in self._closing):
+            self.policy.on_connection_close(conn_id)
+            self._connections.pop(conn_id, None)
+            self._closing.discard(conn_id)
 
     def _issue_prefetches(self, decision: RoutingDecision) -> None:
         for directive in decision.prefetches:
@@ -570,4 +783,7 @@ class ClusterSimulator:
             dispatcher_lookups=self.dispatcher.lookups,
             audit=(self.auditor.finalize()
                    if self.auditor is not None else None),
+            shard_stats=(self.sim.shard_stats()
+                         if isinstance(self.sim, ShardedSimulator)
+                         else None),
         )

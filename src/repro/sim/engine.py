@@ -1,9 +1,9 @@
 """Discrete-event simulation engine.
 
 A minimal, deterministic event core: a binary-heap calendar of
-``(time, sequence, callback)`` entries.  Sequence numbers break ties so
-simultaneous events fire in scheduling order, which keeps every run
-bit-reproducible — a property the regression tests rely on.
+``(time, sequence, callback, arg)`` entries.  Sequence numbers break
+ties so simultaneous events fire in scheduling order, which keeps every
+run bit-reproducible — a property the regression tests rely on.
 
 The hot loop is deliberately allocation-light: :meth:`Simulator.run`
 binds the heap, ``heappop`` and the observation hook to locals and pops
@@ -12,6 +12,13 @@ callers that stream bounded lookahead windows into the calendar (the
 cluster's arrival pump) can pre-reserve sequence-number blocks so late
 pushes keep the exact tie-break order an eager up-front schedule would
 have produced.
+
+Calendar entries carry an optional ``arg`` delivered to the callback.
+This is the struct-of-arrays hook: instead of allocating a per-request
+record (or a fresh bound method) per event, hot-path components keep
+one long-lived bound method per *stage* and pass an integer slot index
+into parallel state arrays (see :mod:`repro.sim.soa`), so steady-state
+event traffic allocates nothing.
 
 :class:`Resource` models a single-server queueing station (CPU, disk,
 NIC) with priority classes: demand work preempts *queued* (never
@@ -39,8 +46,15 @@ class Simulator:
     from the paper's µs/ms constants at the edges.
     """
 
+    #: True on sharded subclasses (:class:`repro.sim.shard.
+    #: ShardedSimulator`).  Components that push calendar entries
+    #: directly into ``_heap`` (the Resource fast paths) must check this
+    #: and fall back to :meth:`schedule_at`, which classifies the event
+    #: to its owner's shard.
+    sharded = False
+
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[..., None], object]] = []
         self._seq = 0
         self.now: float = 0.0
         self._events_processed = 0
@@ -53,8 +67,15 @@ class Simulator:
         #: entry.
         self.on_event: Callable[[float], None] | None = None
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` when the clock reaches ``time``."""
+    def schedule_at(
+        self, time: float, fn: Callable[..., None], arg: object = None
+    ) -> None:
+        """Run ``fn`` when the clock reaches ``time``.
+
+        ``arg`` (optional) is delivered as ``fn(arg)``; ``None`` means
+        call ``fn()`` — callbacks that genuinely want to receive ``None``
+        must close over it instead.
+        """
         if time < self.now:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self.now}"
@@ -62,15 +83,17 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         heap = self._heap
-        heapq.heappush(heap, (time, seq, fn))
+        heapq.heappush(heap, (time, seq, fn, arg))
         if len(heap) > self._high_water:
             self._high_water = len(heap)
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+    def schedule(
+        self, delay: float, fn: Callable[..., None], arg: object = None
+    ) -> None:
         """Run ``fn`` after ``delay`` seconds."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        self.schedule_at(self.now + delay, fn)
+        self.schedule_at(self.now + delay, fn, arg)
 
     # -- reserved sequence blocks (streaming schedulers) ---------------------
 
@@ -92,7 +115,11 @@ class Simulator:
         return start
 
     def schedule_at_reserved(
-        self, time: float, seq: int, fn: Callable[[], None]
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        arg: object = None,
     ) -> None:
         """Push an event carrying a pre-reserved sequence number."""
         if time < self.now:
@@ -100,7 +127,7 @@ class Simulator:
                 f"cannot schedule in the past: {time} < now {self.now}"
             )
         heap = self._heap
-        heapq.heappush(heap, (time, seq, fn))
+        heapq.heappush(heap, (time, seq, fn, arg))
         if len(heap) > self._high_water:
             self._high_water = len(heap)
 
@@ -118,22 +145,34 @@ class Simulator:
         pop = heapq.heappop
         on_event = self.on_event
         if until is None and on_event is None:
-            # Fast path: full drain, no observer.
-            while heap:
-                entry = pop(heap)
-                self.now = entry[0]
-                self._events_processed += 1
-                entry[2]()
+            # Fast path: full drain, no observer.  Nothing can read
+            # ``events_processed`` mid-drain (observers are the only
+            # readers inside a run), so the counter rides a local and
+            # is flushed once — even if a callback raises.
+            n = 0
+            try:
+                while heap:
+                    time, _, fn, arg = pop(heap)
+                    self.now = time
+                    n += 1
+                    if arg is None:
+                        fn()
+                    else:
+                        fn(arg)
+            finally:
+                self._events_processed += n
         elif until is None:
             # Observers may read ``events_processed`` from inside the
             # hook (the telemetry timeline does), so the counter is kept
             # on the instance, not in a loop local.
             while heap:
-                entry = pop(heap)
-                time = entry[0]
+                time, _, fn, arg = pop(heap)
                 self.now = time
                 self._events_processed += 1
-                entry[2]()
+                if arg is None:
+                    fn()
+                else:
+                    fn(arg)
                 on_event(time)
         else:
             while heap:
@@ -145,7 +184,11 @@ class Simulator:
                     return
                 self.now = time
                 self._events_processed += 1
-                entry[2]()
+                arg = entry[3]
+                if arg is None:
+                    entry[2]()
+                else:
+                    entry[2](arg)
                 if on_event is not None:
                     on_event(time)
             self.now = max(self.now, until)
@@ -154,10 +197,13 @@ class Simulator:
         """Process one event; returns False when the calendar is empty."""
         if not self._heap:
             return False
-        time, _, fn = heapq.heappop(self._heap)
+        time, _, fn, arg = heapq.heappop(self._heap)
         self.now = time
         self._events_processed += 1
-        fn()
+        if arg is None:
+            fn()
+        else:
+            fn(arg)
         if self.on_event is not None:
             self.on_event(time)
         return True
@@ -182,9 +228,10 @@ class Simulator:
 @dataclass(slots=True)
 class _Job:
     service_time: float
-    done: Callable[[], None]
+    done: Callable[..., None]
     priority: int
     seq: int
+    arg: object = None
     started: bool = False
 
     def sort_key(self) -> tuple[int, int]:
@@ -209,7 +256,11 @@ class Resource:
         self.busy_time: float = 0.0
         self.jobs_served = 0
         self._service_started = 0.0
-        self._in_service: _Job | None = None
+        # Completion target of the in-service job.  Kept as two plain
+        # slots instead of a _Job record: an idle-station submit — the
+        # common case — then allocates nothing at all.
+        self._cur_done: Callable[..., None] | None = None
+        self._cur_arg: object = None
         # Pre-bound completion callback: one bound-method object reused
         # for every job instead of a fresh closure per service.
         self._finish_cb = self._finish
@@ -217,33 +268,59 @@ class Resource:
     def submit(
         self,
         service_time: float,
-        done: Callable[[], None],
+        done: Callable[..., None],
         *,
         priority: int = PRIORITY_DEMAND,
-    ) -> _Job:
-        """Enqueue a job; ``done`` fires when its service completes.
+        arg: object = None,
+    ) -> _Job | None:
+        """Enqueue a job; ``done`` fires when its service completes
+        (as ``done(arg)`` when ``arg`` is not ``None``).
 
-        Returns a job handle usable with :meth:`promote`.
+        Returns a job handle usable with :meth:`promote` when the job
+        had to queue; a job started immediately (idle station) returns
+        ``None`` — an in-service job can never be promoted anyway.
         """
         if service_time < 0:
             raise ValueError(f"negative service time: {service_time}")
-        seq = self._seq
-        self._seq = seq + 1
-        job = _Job(service_time, done, priority, seq)
         if self._busy:
+            seq = self._seq
+            self._seq = seq + 1
+            job = _Job(service_time, done, priority, seq, arg)
             heapq.heappush(self._queue, ((priority, seq), job))
-        else:
-            # An idle station never holds queued jobs, so the new job is
-            # the head by construction — start it without touching the
-            # heap at all.
-            self._start(job)
-        return job
+            return job
+        # An idle station never holds queued jobs, so the new job is the
+        # head by construction — start it with no _Job record and no
+        # queue traffic.  The completion event is pushed inline
+        # (``schedule_at`` sans the cannot-schedule-in-the-past check:
+        # ``now + service_time >= now`` by construction).
+        self._busy = True
+        self._cur_done = done
+        self._cur_arg = arg
+        sim = self.sim
+        self._service_started = now = sim.now
+        if sim.sharded:
+            # Sharded calendars classify by callback owner; go through
+            # schedule_at so the completion lands on this resource's
+            # shard.  Same sequence draw, same (time, seq) key.
+            sim.schedule_at(now + service_time, self._finish_cb)
+            return None
+        seq = sim._seq
+        sim._seq = seq + 1
+        heap = sim._heap
+        heapq.heappush(heap, (now + service_time, seq, self._finish_cb, None))
+        if len(heap) > sim._high_water:
+            sim._high_water = len(heap)
+        return None
 
-    def promote(self, job: _Job, priority: int = PRIORITY_DEMAND) -> bool:
+    def promote(
+        self, job: _Job | None, priority: int = PRIORITY_DEMAND
+    ) -> bool:
         """Raise a *queued* job's priority (e.g. a prefetch read that a
         demand request coalesced onto).  No effect once service started
-        or when the job already has equal/higher priority."""
-        if job.started or priority >= job.priority:
+        (``None`` — the handle of a job that started on submit — is
+        accepted and refused) or when the job already has equal/higher
+        priority."""
+        if job is None or job.started or priority >= job.priority:
             return False
         job.priority = priority
         # Lazy rebuild: cheap relative to event processing and rare.
@@ -251,29 +328,40 @@ class Resource:
         heapq.heapify(self._queue)
         return True
 
-    def _start(self, job: _Job) -> None:
-        job.started = True
-        self._busy = True
-        self._in_service = job
-        sim = self.sim
-        self._service_started = sim.now
-        sim.schedule_at(sim.now + job.service_time, self._finish_cb)
-
-    def _start_next(self) -> None:
-        if self._queue:
-            _, job = heapq.heappop(self._queue)
-            self._start(job)
-
     def _finish(self) -> None:
-        job = self._in_service
-        self.busy_time += self.sim.now - self._service_started
+        sim = self.sim
+        self.busy_time += sim.now - self._service_started
         self.jobs_served += 1
-        self._busy = False
-        self._in_service = None
+        done = self._cur_done
+        arg = self._cur_arg
+        queue = self._queue
         # Start the next job before the completion callback so a
         # callback that re-submits cannot starve the queue head.
-        self._start_next()
-        job.done()
+        if queue:
+            _, job = heapq.heappop(queue)
+            job.started = True
+            self._cur_done = job.done
+            self._cur_arg = job.arg
+            self._service_started = now = sim.now
+            if sim.sharded:
+                sim.schedule_at(now + job.service_time, self._finish_cb)
+            else:
+                seq = sim._seq
+                sim._seq = seq + 1
+                heap = sim._heap
+                heapq.heappush(
+                    heap, (now + job.service_time, seq, self._finish_cb, None)
+                )
+                if len(heap) > sim._high_water:
+                    sim._high_water = len(heap)
+        else:
+            self._busy = False
+            self._cur_done = None
+            self._cur_arg = None
+        if arg is None:
+            done()  # type: ignore[misc]
+        else:
+            done(arg)  # type: ignore[misc]
 
     @property
     def queue_length(self) -> int:

@@ -46,6 +46,13 @@ class Dispatcher:
         already tracks (prefetch/already-distributed checks in Fig. 4)."""
         return frozenset(self._holders.get(path, ()))
 
+    def holds(self, path: str, server_id: int) -> bool:
+        """Uncounted membership test (``server_id in peek(path)`` without
+        the per-call set copy — the Fig. 4 step-3a residency check runs
+        once per non-embedded request)."""
+        holders = self._holders.get(path)
+        return holders is not None and server_id in holders
+
     def holder_count(self, path: str) -> int:
         return len(self._holders.get(path, ()))
 

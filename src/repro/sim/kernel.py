@@ -1,0 +1,142 @@
+"""Selectable inner kernels for batched hot-path arithmetic.
+
+The arrival pump pulls trace requests in chunks and computes each
+request's size-derived service times (network transmit, disk read) as a
+batch instead of per-request scalar math.  The batch function is the
+*kernel*; two implementations exist:
+
+* ``python`` — vectorised NumPy (the default, always available).
+* ``numba`` — an ``@njit``-compiled elementwise loop, selected with
+  ``REPRO_KERNEL=numba``.  When numba is not installed the python
+  kernel is used and the fallback is recorded (``active_kernel()``);
+  requesting an unknown kernel name is a hard error.
+
+Both kernels evaluate the exact expressions of
+:meth:`~repro.core.config.SimulationParams.transmit_s` and
+:meth:`~repro.core.config.SimulationParams.disk_service_s` in the same
+operation order, so per-element IEEE-754 results are bit-identical to
+the scalar methods — the differential battery and
+``tests/test_kernel.py`` assert exactly that, and the simulation
+reports therefore do not depend on the kernel choice.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_ENV",
+    "KernelInfo",
+    "active_kernel",
+    "service_time_arrays",
+]
+
+#: Environment knob selecting the kernel implementation at import time.
+KERNEL_ENV = "REPRO_KERNEL"
+
+_KB = 1024.0
+
+
+@dataclass(frozen=True, slots=True)
+class KernelInfo:
+    """Which kernel is active, which was asked for, and why they differ."""
+
+    name: str
+    requested: str
+    available: bool
+    reason: str = ""
+
+
+def _service_time_arrays_python(
+    sizes: np.ndarray,
+    transmit_us_per_kb: float,
+    disk_fixed_ms: float,
+    disk_us_per_kb: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised transmit/disk service times for a batch of sizes.
+
+    Operation order matches ``SimulationParams.transmit_s`` /
+    ``disk_service_s`` exactly (scale factor first, then the per-element
+    multiply, then the KB divide), keeping per-element bits identical to
+    the scalar path.
+    """
+    tx = transmit_us_per_kb * 1e-6 * sizes / _KB
+    disk = disk_fixed_ms * 1e-3 + disk_us_per_kb * 1e-6 * sizes / _KB
+    return tx, disk
+
+
+def _build_numba_kernel() -> Callable[..., tuple[np.ndarray, np.ndarray]]:
+    from numba import njit  # noqa: PLC0415 — gated import, numba optional
+
+    @njit(cache=False)
+    def _loop(
+        sizes: np.ndarray,
+        tx_scale: float,
+        disk_fixed: float,
+        disk_scale: float,
+    ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover - needs numba
+        n = sizes.shape[0]
+        tx = np.empty(n)
+        disk = np.empty(n)
+        for i in range(n):
+            tx[i] = tx_scale * sizes[i] / 1024.0
+            disk[i] = disk_fixed + disk_scale * sizes[i] / 1024.0
+        return tx, disk
+
+    def _service_time_arrays_numba(
+        sizes: np.ndarray,
+        transmit_us_per_kb: float,
+        disk_fixed_ms: float,
+        disk_us_per_kb: float,
+    ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover - needs numba
+        # Scale factors are folded outside the jitted loop with the same
+        # scalar ops the python path uses, so elementwise bits agree.
+        return _loop(sizes, transmit_us_per_kb * 1e-6,
+                     disk_fixed_ms * 1e-3, disk_us_per_kb * 1e-6)
+
+    return _service_time_arrays_numba
+
+
+def _select() -> tuple[KernelInfo, Callable[..., tuple[np.ndarray, np.ndarray]]]:
+    requested = os.environ.get(KERNEL_ENV, "python").strip().lower() or "python"
+    if requested == "python":
+        return KernelInfo("python", "python", True), _service_time_arrays_python
+    if requested == "numba":
+        try:
+            fn = _build_numba_kernel()
+        except ImportError:
+            return (
+                KernelInfo("python", "numba", False,
+                           "numba is not installed; using the python kernel"),
+                _service_time_arrays_python,
+            )
+        return KernelInfo("numba", "numba", True), fn  # pragma: no cover
+    raise ValueError(
+        f"unknown {KERNEL_ENV}={requested!r}: expected 'python' or 'numba'"
+    )
+
+
+_INFO, _IMPL = _select()
+
+
+def active_kernel() -> KernelInfo:
+    """The kernel selected at import time (env knob ``REPRO_KERNEL``)."""
+    return _INFO
+
+
+def service_time_arrays(
+    sizes: np.ndarray,
+    transmit_us_per_kb: float,
+    disk_fixed_ms: float,
+    disk_us_per_kb: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``(transmit_s, disk_service_s)`` for ``sizes`` (bytes).
+
+    Dispatches to the active kernel; results are bit-identical across
+    kernels and to the scalar ``SimulationParams`` methods.
+    """
+    return _IMPL(sizes, transmit_us_per_kb, disk_fixed_ms, disk_us_per_kb)

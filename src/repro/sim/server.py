@@ -9,10 +9,13 @@ delays demand reads, and replicas arrive via
 in-flight demand requests — is the balancing metric LARD-family
 policies compare against their T_low/T_high thresholds.
 
-Each in-flight request is one slotted :class:`_DemandJob` event record;
-its stage transitions are bound methods handed to the engine, replacing
-the six nested closures the demand path used to allocate per request
-(closure-free dispatch — same event order, far less allocator traffic).
+Each in-flight request is one integer *slot* into the shared
+struct-of-arrays :class:`~repro.sim.soa.FlowTable`; the stage
+transitions are long-lived bound methods that receive the slot through
+the calendar's ``arg`` channel.  This replaces the per-request
+``_DemandJob`` records of the previous design (which themselves
+replaced six nested closures): same event order, zero steady-state
+allocation on the demand path.
 """
 
 from __future__ import annotations
@@ -22,113 +25,9 @@ from typing import Callable
 
 from ..core.config import SimulationParams
 from .engine import PRIORITY_PREFETCH, Resource, Simulator
+from .soa import FlowTable
 
 __all__ = ["BackendServer"]
-
-
-class _DemandJob:
-    """One demand request's journey through a backend (slotted record).
-
-    The stage methods mirror the paper's service pipeline: admission →
-    CPU → cache/disk → transmit → finish.  All mutable per-request
-    state (which branch the cache lookup took) lives on the record, so
-    the engine's calendar holds bound methods instead of closures.
-    """
-
-    __slots__ = ("server", "path", "size", "done", "dynamic", "hit")
-
-    def __init__(
-        self,
-        server: "BackendServer",
-        path: str,
-        size: int,
-        done: Callable[[int, bool], None],
-        dynamic: bool,
-    ) -> None:
-        self.server = server
-        self.path = path
-        self.size = size
-        self.done = done
-        self.dynamic = dynamic
-        self.hit = False
-
-    def start(self) -> None:
-        # Admission: a request needs a worker slot for its whole
-        # lifetime (including any disk wait).  When all slots are
-        # busy, it queues FCFS — this couples miss latency into hit
-        # latency exactly as a bounded worker pool does.
-        server = self.server
-        if server._workers_busy < server.params.backend_workers:
-            server._workers_busy += 1
-            self.begin()
-        else:
-            server._admission.append(self.begin)
-
-    def begin(self) -> None:
-        server = self.server
-        server.cpu.submit(server.params.backend_cpu_s, self.after_cpu)
-
-    def after_cpu(self) -> None:
-        server = self.server
-        path = self.path
-        if self.dynamic:
-            # Generated content: no cache, no disk — pure CPU.
-            server.cpu.submit(server.params.dynamic_cpu_s,
-                              self.transmit_miss)
-            return
-        if server.cache.access(path):
-            if path in server._prefetched_resident:
-                # Count each prefetched file's first demand hit once.
-                server._prefetched_resident.discard(path)
-                server.prefetch_useful += 1
-                server._guard_useful += 1
-            self.transmit(True)
-        elif path in server._prefetch_inflight:
-            # A prefetch read for this file is already on the disk
-            # queue: coalesce instead of issuing a duplicate read,
-            # and promote the read to demand priority.
-            server.disk.promote(server._prefetch_inflight[path])
-            server._prefetch_waiters.setdefault(path, []).append(
-                self.transmit_miss
-            )
-        elif path in server._demand_inflight:
-            # Another demand read for the same file is in flight.
-            server._demand_inflight[path].append(self.transmit_miss)
-        else:
-            server._demand_inflight[path] = []
-            server.disk.submit(server.params.disk_service_s(self.size),
-                               self.after_disk)
-
-    def after_disk(self) -> None:
-        server = self.server
-        path = self.path
-        server.cache.insert(path, self.size)
-        waiters = server._demand_inflight.pop(path, ())
-        self.transmit(False)
-        for resume in waiters:
-            resume()
-
-    def transmit(self, hit: bool) -> None:
-        # Response transfer costs CPU time (80 us/KB, Table 1).
-        self.hit = hit
-        server = self.server
-        server.cpu.submit(server.params.transmit_s(self.size), self.finish)
-
-    def transmit_miss(self) -> None:
-        """Zero-argument miss-transmit continuation (waiter resume)."""
-        self.transmit(False)
-
-    def finish(self) -> None:
-        server = self.server
-        server.active -= 1
-        server.completed += 1
-        if server._admission:
-            server._admission.popleft()()
-        else:
-            server._workers_busy -= 1
-        self.done(server.server_id, self.hit)
-        if server.active == 0 and server.on_idle is not None:
-            server.on_idle(server)
 
 
 class _PrefetchRead:
@@ -152,8 +51,8 @@ class _PrefetchRead:
             # did useful work even before a later cache hit.
             server.prefetch_useful += 1
             server._guard_useful += 1
-            for resume in waiters:
-                resume()
+            for slot in waiters:
+                server._flow_transmit_miss(slot)
         elif server.cache.peek(path):
             server._prefetched_resident.add(path)
 
@@ -172,6 +71,13 @@ class BackendServer:
     on_cache_insert / on_cache_evict:
         Callbacks ``fn(server_id, path)`` wired to the dispatcher's
         locality table.
+    flows:
+        Shared per-request state table.  The cluster passes its table so
+        request slots flow front end → backend without copying; a
+        standalone server builds a private one.
+    down_counter:
+        Shared one-element list counting crashed servers — the cluster's
+        cheap "is anything down?" signal for policy fast paths.
     """
 
     def __init__(
@@ -183,6 +89,8 @@ class BackendServer:
         on_cache_insert: Callable[[int, str], None] | None = None,
         on_cache_evict: Callable[[int, str], None] | None = None,
         future_weights: dict[str, float] | None = None,
+        flows: FlowTable | None = None,
+        down_counter: list[int] | None = None,
     ) -> None:
         self.sim = sim
         self.server_id = server_id
@@ -199,6 +107,8 @@ class BackendServer:
             on_insert=self._cache_inserted,
             on_evict=self._cache_evicted,
         )
+        self.flows = flows if flows is not None else FlowTable()
+        self._downs = down_counter if down_counter is not None else [0]
         #: in-flight demand requests (admission queue + workers)
         self.active = 0
         self.completed = 0
@@ -206,16 +116,16 @@ class BackendServer:
         self.dynamic_served = 0
         #: requests currently holding a worker slot
         self._workers_busy = 0
-        #: admission queue of deferred request starters (FCFS)
-        self._admission: deque[Callable[[], None]] = deque()
+        #: admission queue of deferred request slots (FCFS)
+        self._admission: deque[int] = deque()
         #: paths currently resident because a prefetch brought them in
         self._prefetched_resident: set[str] = set()
         #: prefetch reads already on the disk queue (path -> job handle)
         self._prefetch_inflight: dict[str, object] = {}
-        #: demand continuations coalesced onto in-flight prefetch reads
-        self._prefetch_waiters: dict[str, list[Callable[[], None]]] = {}
-        #: demand continuations coalesced onto in-flight demand reads
-        self._demand_inflight: dict[str, list[Callable[[], None]]] = {}
+        #: demand slots coalesced onto in-flight prefetch reads
+        self._prefetch_waiters: dict[str, list[int]] = {}
+        #: demand slots coalesced onto in-flight demand reads
+        self._demand_inflight: dict[str, list[int]] = {}
         self.prefetches_issued = 0
         self.prefetch_useful = 0
         #: prefetched files evicted before any demand hit
@@ -229,6 +139,17 @@ class BackendServer:
         self.on_idle: Callable[["BackendServer"], None] | None = None
         #: False while the node is crashed (failure injection)
         self.up = True
+        # Hoisted cost-model constants and pre-bound stage callbacks:
+        # one bound method per stage for the whole run, carried with the
+        # slot index through the calendar's ``arg`` channel.
+        self._max_workers = params.backend_workers
+        self._cpu_s = params.backend_cpu_s
+        self._dyn_cpu_s = params.dynamic_cpu_s
+        self._start_cb = self._flow_start
+        self._after_cpu_cb = self._flow_after_cpu
+        self._after_disk_cb = self._flow_after_disk
+        self._transmit_miss_cb = self._flow_transmit_miss
+        self._finish_cb = self._flow_finish
 
     def _cache_inserted(self, path: str) -> None:
         if self._on_insert:
@@ -258,18 +179,110 @@ class BackendServer:
         cache entirely and spend ``dynamic_cpu_ms`` of CPU instead of
         touching the disk (dynamic-content extension).
         """
-        if size <= 0:
+        f = self.flows
+        slot = f.alloc()
+        f.path[slot] = path
+        f.size[slot] = size
+        f.dynamic[slot] = dynamic
+        f.hit[slot] = False
+        f.tx_s[slot] = self.params.transmit_s(size)
+        f.disk_s[slot] = self.params.disk_service_s(size)
+        f.finish[slot] = self._generic_done
+        f.user_done[slot] = done
+        self.start_flow(slot)
+
+    def _generic_done(self, slot: int, server_id: int, hit: bool) -> None:
+        f = self.flows
+        done = f.user_done[slot]
+        f.release(slot)
+        done(server_id, hit)  # type: ignore[misc]
+
+    def start_flow(self, slot: int) -> None:
+        """Begin serving a populated flow slot (cluster fast path).
+
+        The slot's service fields (``path``/``size``/``dynamic``/
+        ``hit``/``tx_s``/``disk_s``/``finish``) must be set; ``hit``
+        must start False.
+        """
+        f = self.flows
+        if f.size[slot] <= 0:
             raise ValueError("size must be positive")
         self.active += 1
-        self.dynamic_served += dynamic
-        extra = 0.0
+        self.dynamic_served += f.dynamic[slot]
         if self.start_latency_hook is not None:
             extra = self.start_latency_hook(self)
-        job = _DemandJob(self, path, size, done, dynamic)
-        if extra > 0:
-            self.sim.schedule(extra, job.start)
+            if extra > 0:
+                self.sim.schedule(extra, self._start_cb, slot)
+                return
+        self._flow_start(slot)
+
+    def _flow_start(self, slot: int) -> None:
+        # Admission: a request needs a worker slot for its whole
+        # lifetime (including any disk wait).  When all slots are
+        # busy, it queues FCFS — this couples miss latency into hit
+        # latency exactly as a bounded worker pool does.
+        if self._workers_busy < self._max_workers:
+            self._workers_busy += 1
+            self.cpu.submit(self._cpu_s, self._after_cpu_cb, arg=slot)
         else:
-            job.start()
+            self._admission.append(slot)
+
+    def _flow_after_cpu(self, slot: int) -> None:
+        f = self.flows
+        path = f.path[slot]
+        if f.dynamic[slot]:
+            # Generated content: no cache, no disk — generation CPU,
+            # then the ordinary (miss) transmit stage.
+            self.cpu.submit(self._dyn_cpu_s, self._transmit_miss_cb, arg=slot)
+            return
+        if self.cache.access(path):
+            if path in self._prefetched_resident:
+                # Count each prefetched file's first demand hit once.
+                self._prefetched_resident.discard(path)
+                self.prefetch_useful += 1
+                self._guard_useful += 1
+            # Response transfer costs CPU time (80 us/KB, Table 1).
+            f.hit[slot] = True
+            self.cpu.submit(f.tx_s[slot], self._finish_cb, arg=slot)
+        elif path in self._prefetch_inflight:
+            # A prefetch read for this file is already on the disk
+            # queue: coalesce instead of issuing a duplicate read,
+            # and promote the read to demand priority.
+            self.disk.promote(self._prefetch_inflight[path])
+            self._prefetch_waiters.setdefault(path, []).append(slot)
+        elif path in self._demand_inflight:
+            # Another demand read for the same file is in flight.
+            self._demand_inflight[path].append(slot)
+        else:
+            self._demand_inflight[path] = []
+            self.disk.submit(f.disk_s[slot], self._after_disk_cb, arg=slot)
+
+    def _flow_after_disk(self, slot: int) -> None:
+        f = self.flows
+        path = f.path[slot]
+        self.cache.insert(path, f.size[slot])
+        waiters = self._demand_inflight.pop(path, ())
+        self.cpu.submit(f.tx_s[slot], self._finish_cb, arg=slot)
+        for w in waiters:
+            self._flow_transmit_miss(w)
+
+    def _flow_transmit_miss(self, slot: int) -> None:
+        """Miss-transmit continuation (waiter resume / dynamic path)."""
+        self.cpu.submit(self.flows.tx_s[slot], self._finish_cb, arg=slot)
+
+    def _flow_finish(self, slot: int) -> None:
+        self.active -= 1
+        self.completed += 1
+        if self._admission:
+            # The freed worker slot passes straight to the queue head.
+            head = self._admission.popleft()
+            self.cpu.submit(self._cpu_s, self._after_cpu_cb, arg=head)
+        else:
+            self._workers_busy -= 1
+        f = self.flows
+        f.finish[slot](slot, self.server_id, f.hit[slot])  # type: ignore[misc]
+        if self.active == 0 and self.on_idle is not None:
+            self.on_idle(self)
 
     # -- proactive paths ----------------------------------------------------------
 
@@ -311,12 +324,16 @@ class BackendServer:
         memory contents are lost (the dispatcher learns through the
         eviction notifications).  In-flight work drains — the model is a
         graceful failover, not lost connections."""
+        if self.up:
+            self._downs[0] += 1
         self.up = False
         for path in list(self.cache.contents()):
             self.cache.evict(path)
 
     def recover(self) -> None:
         """Bring the node back, cold: empty cache, zero load."""
+        if not self.up:
+            self._downs[0] -= 1
         self.up = True
 
     def receive_replica(self, path: str, size: int, *, pin: bool = True) -> bool:

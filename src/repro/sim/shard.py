@@ -1,0 +1,230 @@
+"""Sharded event calendar for big-cluster simulations.
+
+:class:`ShardedSimulator` partitions the event calendar into K shards —
+one heap per shard, with long-lived components (backends and their
+resources) pinned to a home shard.  Each push classifies its event by
+the callback's owner (``fn.__self__``); the run loop executes the
+global minimum ``(time, seq)`` across all shard heads.
+
+**Determinism.**  ``(time, seq)`` keys are unique (sequence numbers are
+never reused), so the K-way merge pops events in exactly the order a
+single heap would have — for *every* K.  A sharded run is therefore
+bit-identical to the unsharded engine by construction; the property
+tests replay the presets at K ∈ {1, 2, 4} and compare reports
+field-for-field.
+
+**Conservative-window accounting.**  The point of sharding is to map
+the simulation onto a conservative parallel DES protocol: shards may
+only run ahead within a lookahead window W — here the minimum
+inter-shard latency (connection latency, the smallest delay any
+cross-shard interaction pays on a real cluster's network).  This
+implementation does *not* run shards in parallel (see DESIGN.md §14 for
+why process-parallelism cannot preserve bit-identity with the model's
+zero-lookahead couplings); instead it executes the exact sequential
+order while *measuring* the protocol: how many events cross shards, how
+many of those violate the lookahead window, and how many window
+barriers the run sweeps.  Those counters are the honest feasibility
+data for a parallel backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .engine import Simulator
+
+__all__ = ["ShardStats", "ShardedSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardStats:
+    """What the conservative-window protocol observed during a run."""
+
+    #: number of shards the calendar was partitioned into
+    shards: int
+    #: lookahead window W (seconds) — the minimum inter-shard latency
+    window_s: float
+    #: events executed per shard (sums to ``events_processed``)
+    events_per_shard: tuple[int, ...]
+    #: events pushed from one shard into another
+    cross_shard_events: int
+    #: cross-shard pushes scheduled less than W ahead of the clock —
+    #: each would stall a conservative parallel run at the next barrier
+    lookahead_violations: int
+    #: window boundaries (multiples of W) the clock swept past
+    barrier_crossings: int
+
+    @property
+    def cross_shard_fraction(self) -> float:
+        """Cross-shard pushes per executed event."""
+        total = sum(self.events_per_shard)
+        return self.cross_shard_events / total if total else 0.0
+
+
+class ShardedSimulator(Simulator):
+    """K-shard event calendar with a global-minimum merge loop.
+
+    Parameters
+    ----------
+    shards:
+        Number of calendar shards (K >= 1).
+    window_s:
+        Conservative lookahead window W.  Zero disables the
+        violation/barrier accounting (every latency-free model has
+        zero lookahead anyway).
+
+    Components register as shard owners via :meth:`register_owner`;
+    events whose callback is a bound method of a registered owner land
+    on that owner's shard.  Everything else (plain functions, unknown
+    owners) lands on the shard currently executing — a deterministic
+    rule, since the merge order itself is deterministic.
+    """
+
+    sharded = True
+
+    def __init__(self, shards: int, *, window_s: float = 0.0) -> None:
+        super().__init__()
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        self.shards = shards
+        self.window_s = window_s
+        self._heaps: list[list[tuple]] = [[] for _ in range(shards)]
+        self._current_shard = 0
+        # ``_heap`` aliases the executing shard's heap so any legacy
+        # direct-push into ``sim._heap`` still lands on a merged heap
+        # (classified to the current shard, the fallback rule).
+        self._heap = self._heaps[0]
+        self._owner_shard: dict[object, int] = {}
+        self.events_per_shard = [0] * shards
+        self.cross_shard_events = 0
+        self.lookahead_violations = 0
+        self.barrier_crossings = 0
+        self._pending = 0
+        self._last_window = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def register_owner(self, owner: object, shard: int) -> None:
+        """Pin ``owner``'s bound-method callbacks to ``shard``."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(
+                f"shard {shard} out of range for {self.shards} shards"
+            )
+        self._owner_shard[owner] = shard
+
+    def shard_of(self, owner: object) -> int | None:
+        return self._owner_shard.get(owner)
+
+    # -- classified pushes ---------------------------------------------------
+
+    def _push(self, time: float, seq: int, fn, arg) -> None:
+        owner = getattr(fn, "__self__", None)
+        if owner is not None:
+            shard = self._owner_shard.get(owner, self._current_shard)
+        else:
+            shard = self._current_shard
+        if shard != self._current_shard:
+            self.cross_shard_events += 1
+            w = self.window_s
+            if w > 0.0 and time - self.now < w:
+                self.lookahead_violations += 1
+        heapq.heappush(self._heaps[shard], (time, seq, fn, arg))
+        pending = self._pending + 1
+        self._pending = pending
+        if pending > self._high_water:
+            self._high_water = pending
+
+    def schedule_at(self, time, fn, arg=None):
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._push(time, seq, fn, arg)
+
+    def schedule_at_reserved(self, time, seq, fn, arg=None):
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        self._push(time, seq, fn, arg)
+
+    # -- the merge loop ------------------------------------------------------
+
+    def _min_shard(self) -> int:
+        """Index of the shard holding the globally next event, or -1."""
+        best = None
+        best_i = -1
+        for i, h in enumerate(self._heaps):
+            if h:
+                head = h[0]
+                # (time, seq) is unique, so the tuple compare never
+                # reaches the callback element.
+                if best is None or head < best:
+                    best = head
+                    best_i = i
+        return best_i
+
+    def _execute(self, i: int) -> None:
+        heaps = self._heaps
+        time, _, fn, arg = heapq.heappop(heaps[i])
+        self._current_shard = i
+        self._heap = heaps[i]
+        self._pending -= 1
+        self.now = time
+        self._events_processed += 1
+        self.events_per_shard[i] += 1
+        w = self.window_s
+        if w > 0.0:
+            win = int(time / w)
+            if win > self._last_window:
+                self.barrier_crossings += win - self._last_window
+                self._last_window = win
+        if arg is None:
+            fn()
+        else:
+            fn(arg)
+
+    def run(self, until: float | None = None) -> None:
+        on_event = self.on_event
+        while True:
+            i = self._min_shard()
+            if i < 0:
+                break
+            if until is not None and self._heaps[i][0][0] > until:
+                self.now = until
+                return
+            self._execute(i)
+            if on_event is not None:
+                on_event(self.now)
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def step(self) -> bool:
+        i = self._min_shard()
+        if i < 0:
+            return False
+        self._execute(i)
+        if self.on_event is not None:
+            self.on_event(self.now)
+        return True
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        return sum(len(h) for h in self._heaps)
+
+    def shard_stats(self) -> ShardStats:
+        return ShardStats(
+            shards=self.shards,
+            window_s=self.window_s,
+            events_per_shard=tuple(self.events_per_shard),
+            cross_shard_events=self.cross_shard_events,
+            lookahead_violations=self.lookahead_violations,
+            barrier_crossings=self.barrier_crossings,
+        )

@@ -111,13 +111,32 @@ class SimulationReport:
 
 
 class MetricsCollector:
-    """Accumulates completions and event counters during a run."""
+    """Accumulates completions and event counters during a run.
+
+    Completions are stored struct-of-arrays — six parallel scalar
+    columns instead of a :class:`CompletionRecord` per request — so the
+    hot path appends plain floats/ints and the report aggregates with
+    vectorised NumPy.  The :attr:`records` view materialises the
+    record objects on demand for tests and ad-hoc analysis.
+    """
 
     def __init__(self, n_servers: int) -> None:
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
         self.n_servers = n_servers
-        self._records: list[CompletionRecord] = []
+        self._arrival: list[float] = []
+        self._completion: list[float] = []
+        self._server: list[int] = []
+        self._hit: list[bool] = []
+        self._embedded: list[bool] = []
+        self._size: list[int] = []
+        # Bound appends: record_completion runs once per served request.
+        self._push_arrival = self._arrival.append
+        self._push_completion = self._completion.append
+        self._push_server = self._server.append
+        self._push_hit = self._hit.append
+        self._push_embedded = self._embedded.append
+        self._push_size = self._size.append
         self.dispatches = 0
         self.handoffs = 0
         self.connections = 0
@@ -137,18 +156,18 @@ class MetricsCollector:
     ) -> None:
         if not 0 <= server_id < self.n_servers:
             raise ValueError(f"server_id {server_id} out of range")
-        if completion < request.arrival:
+        arrival = request.arrival
+        if completion < arrival:
             raise ValueError("completion precedes arrival")
-        if self.first_arrival is None or request.arrival < self.first_arrival:
-            self.first_arrival = request.arrival
-        self._records.append(CompletionRecord(
-            arrival=request.arrival,
-            completion=completion,
-            server_id=server_id,
-            hit=hit,
-            is_embedded=request.is_embedded,
-            size=request.size,
-        ))
+        first = self.first_arrival
+        if first is None or arrival < first:
+            self.first_arrival = arrival
+        self._push_arrival(arrival)
+        self._push_completion(completion)
+        self._push_server(server_id)
+        self._push_hit(hit)
+        self._push_embedded(request.is_embedded)
+        self._push_size(request.size)
 
     def count_dispatch(self) -> None:
         self.dispatches += 1
@@ -170,11 +189,18 @@ class MetricsCollector:
 
     @property
     def completed(self) -> int:
-        return len(self._records)
+        return len(self._arrival)
 
     @property
     def records(self) -> Sequence[CompletionRecord]:
-        return self._records
+        """Materialised per-completion records (built on demand)."""
+        return [
+            CompletionRecord(a, c, s, h, e, z)
+            for a, c, s, h, e, z in zip(
+                self._arrival, self._completion, self._server,
+                self._hit, self._embedded, self._size,
+            )
+        ]
 
     # -- reporting ------------------------------------------------------------
 
@@ -197,13 +223,13 @@ class MetricsCollector:
         Event counters (dispatches, handoffs, ...) are run totals — the
         paper's Fig. 6 counts dispatches over the whole trace.
         """
-        recs = [r for r in self._records if r.arrival >= warmup_until]
-        per_server = [0] * self.n_servers
-        for r in recs:
-            per_server[r.server_id] += 1
-        if not recs:
+        all_completed = len(self._arrival)
+        arrivals = np.array(self._arrival, dtype=np.float64)
+        mask = arrivals >= warmup_until
+        n = int(np.count_nonzero(mask))
+        if n == 0:
             return SimulationReport(
-                completed=0, all_completed=len(self._records),
+                completed=0, all_completed=all_completed,
                 throughput_rps=0.0, drain_throughput_rps=0.0,
                 mean_response_s=0.0,
                 median_response_s=0.0, p95_response_s=0.0,
@@ -214,29 +240,36 @@ class MetricsCollector:
                 prefetch_useful=self.prefetch_useful,
                 replicated_bytes=self.replicated_bytes,
                 makespan_s=0.0,
-                per_server_completed=tuple(per_server),
+                per_server_completed=(0,) * self.n_servers,
             )
-        responses = np.array([r.response_time for r in recs])
+        completions = np.array(self._completion, dtype=np.float64)[mask]
+        # Per-element float64 subtraction: bit-identical to the scalar
+        # ``completion - arrival`` the record property computed.
+        responses = completions - arrivals[mask]
+        per_server = np.bincount(
+            np.array(self._server, dtype=np.intp)[mask],
+            minlength=self.n_servers,
+        )
         start = max(warmup_until,
                     self.first_arrival if self.first_arrival else 0.0)
-        makespan = max(r.completion for r in recs) - start
-        drain_throughput = len(recs) / makespan if makespan > 0 else 0.0
+        makespan = float(completions.max()) - start
+        drain_throughput = n / makespan if makespan > 0 else 0.0
         if window_end is not None and window_end > start:
-            in_window = sum(1 for r in recs if r.completion <= window_end)
+            in_window = int(np.count_nonzero(completions <= window_end))
             throughput = in_window / (window_end - start)
         else:
             throughput = drain_throughput
-        hits = sum(1 for r in recs if r.hit)
+        hits = int(np.count_nonzero(np.array(self._hit, dtype=bool)[mask]))
         return SimulationReport(
-            completed=len(recs),
-            all_completed=len(self._records),
+            completed=n,
+            all_completed=all_completed,
             throughput_rps=throughput,
             drain_throughput_rps=drain_throughput,
             mean_response_s=float(responses.mean()),
             median_response_s=float(np.median(responses)),
             p95_response_s=float(np.percentile(responses, 95)),
             p99_response_s=float(np.percentile(responses, 99)),
-            hit_rate=hits / len(recs),
+            hit_rate=hits / n,
             dispatches=self.dispatches,
             handoffs=self.handoffs,
             connections=self.connections,
@@ -244,5 +277,5 @@ class MetricsCollector:
             prefetch_useful=self.prefetch_useful,
             replicated_bytes=self.replicated_bytes,
             makespan_s=makespan,
-            per_server_completed=tuple(per_server),
+            per_server_completed=tuple(int(c) for c in per_server),
         )

@@ -1,0 +1,16 @@
+"""Bad: closures scheduled on the calendar that grab engine internals."""
+
+
+class Worker:
+    def start(self, sim):
+        sim.schedule_at(0.0, lambda: sim._heap.clear())  # expect: pool-shard-closure
+
+    def drain(self, sim):
+        def flush():
+            while sim._heaps[0]:
+                sim._heaps[0].pop()
+        sim.schedule(0.5, flush)  # expect: pool-shard-closure
+
+    def audit(self, sim):
+        sim.schedule_at_reserved(  # expect: pool-shard-closure
+            1.0, 7, lambda: print(sim._seq, sim._pending))

@@ -1,0 +1,22 @@
+"""Good: scheduled callbacks stay off private engine state."""
+
+
+class Worker:
+    def __init__(self):
+        self.ticks = 0
+
+    def tick(self):
+        self.ticks += 1
+
+    def start(self, sim):
+        # Bound method: picklable via (instance, name), no heap capture.
+        sim.schedule_at(0.0, self.tick)
+
+    def nudge(self, sim, delay):
+        # Closures over plain data (not calendar internals) are fine;
+        # this mirrors power.py's hibernation kick.
+        sid = self.ticks
+        sim.schedule(delay, lambda: self.note(sid))
+
+    def note(self, sid):
+        self.ticks = sid

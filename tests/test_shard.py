@@ -1,0 +1,246 @@
+"""Sharded calendar: K-invariance, determinism, and barrier edges.
+
+The sharded engine's contract is absolute: for every shard count K the
+merged execution order equals the single-heap order, so a sharded run
+is *bit-identical* to the unsharded engine — same report, same event
+count, same per-request event trace.  These tests pin that contract on
+the three workload presets, on hypothesis-generated random traces, and
+on the protocol's edge geometry (events landing exactly on a window
+boundary, empty shards, backend counts not divisible by K).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SimulationParams
+from repro.core.system import build_policy, run_policy
+from repro.experiments.common import loaded_workload
+from repro.logs import Request, Trace
+from repro.sim import ClusterSimulator, ShardedSimulator
+from repro.sim.differential import report_fields
+from repro.sim.tracing import RequestTracer
+from tests.test_audit import MICRO
+
+PRESETS = ("synthetic", "cs-department", "worldcup")
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _params():
+    return SimulationParams(n_backends=3, cache_bytes=1 << 18)
+
+
+def _observable(trace, policy_name, shards):
+    policy, replicator = build_policy(policy_name)
+    tracer = RequestTracer()
+    cluster = ClusterSimulator(trace, policy, _params(),
+                               replicator=replicator, tracer=tracer,
+                               shards=shards)
+    result = cluster.run()
+    return {
+        **report_fields(result),
+        "events_processed": cluster.sim.events_processed,
+        "events": list(tracer),
+    }, result
+
+
+#: (gap, conn id, path index) per request; zero gaps exercise ties.
+random_traces = st.lists(
+    st.tuples(
+        st.one_of(st.just(0.0),
+                  st.floats(min_value=0.0, max_value=0.05,
+                            allow_nan=False)),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def _build_trace(spec):
+    reqs, t = [], 0.0
+    for gap, conn, path_idx in spec:
+        t += gap
+        reqs.append(Request(arrival=t, conn_id=conn,
+                            path=f"/p{path_idx}",
+                            size=512 * (path_idx + 1)))
+    return Trace(reqs, name="random")
+
+
+class TestKInvariance:
+    @settings(max_examples=15, deadline=None)
+    @given(spec=random_traces)
+    def test_property_sharded_matches_unsharded(self, spec):
+        trace = _build_trace(spec)
+        base, _ = _observable(trace, "lard", None)
+        for k in SHARD_COUNTS:
+            sharded, result = _observable(trace, "lard", k)
+            differing = [key for key in base if base[key] != sharded[key]]
+            assert not differing, (
+                f"shards={k} diverges from unsharded on {differing}"
+            )
+            stats = result.shard_stats
+            assert stats is not None and stats.shards == k
+            assert sum(stats.events_per_shard) == sharded["events_processed"]
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    def test_presets_field_identical_reports(self, preset):
+        workload = loaded_workload(preset, MICRO)
+        params = SimulationParams(n_backends=MICRO.n_backends)
+        kwargs = dict(warmup_fraction=MICRO.warmup_fraction,
+                      window_s=MICRO.duration_s)
+        base = run_policy(workload, "prord", params, **kwargs)
+        for k in SHARD_COUNTS:
+            res = run_policy(workload, "prord", params, shards=k, **kwargs)
+            assert (dataclasses.asdict(res.report)
+                    == dataclasses.asdict(base.report)), f"shards={k}"
+            assert res.shard_stats is not None
+
+    def test_deterministic_under_repeated_runs(self):
+        # Same workload, same K, fresh simulators: identical reports
+        # and identical protocol counters.
+        workload = loaded_workload("synthetic", MICRO)
+        params = SimulationParams(n_backends=MICRO.n_backends)
+        runs = [run_policy(workload, "lard", params, shards=4,
+                           warmup_fraction=MICRO.warmup_fraction,
+                           window_s=MICRO.duration_s)
+                for _ in range(2)]
+        assert (dataclasses.asdict(runs[0].report)
+                == dataclasses.asdict(runs[1].report))
+        assert runs[0].shard_stats == runs[1].shard_stats
+
+
+class TestClusterTopology:
+    def test_empty_shards_when_k_exceeds_backends(self):
+        # 3 backends over 4 shards: at least one shard gets no backend
+        # and therefore no backend-owned events; the run still matches.
+        trace = _build_trace([(0.001, i % 3, i % 5) for i in range(60)])
+        base, _ = _observable(trace, "lard", None)
+        sharded, result = _observable(trace, "lard", 4)
+        assert base == sharded
+        assert 0 in result.shard_stats.events_per_shard[1:]
+
+    def test_backends_not_divisible_by_k(self):
+        # 3 backends over 2 shards (contiguous split 2+1).
+        trace = _build_trace([(0.002, i % 3, i % 4) for i in range(80)])
+        base, _ = _observable(trace, "lard", None)
+        sharded, result = _observable(trace, "lard", 2)
+        assert base == sharded
+        assert len(result.shard_stats.events_per_shard) == 2
+
+    def test_invalid_shard_count_rejected(self):
+        trace = _build_trace([(0.01, 0, 0)] * 5)
+        with pytest.raises(ValueError, match="shards"):
+            ClusterSimulator(trace, build_policy("wrr")[0], _params(),
+                             shards=0)
+
+
+class TestBarrierEdges:
+    """Direct engine-level geometry around the lookahead window W."""
+
+    W = 0.001
+
+    def _sim(self, shards=2):
+        return ShardedSimulator(shards, window_s=self.W)
+
+    def test_cross_shard_push_exactly_on_window_boundary(self):
+        # An event pushed exactly W ahead is *not* a lookahead
+        # violation: the conservative protocol delivers messages that
+        # arrive at (or after) the next barrier.
+        sim = self._sim()
+        fired = []
+
+        class Owner:
+            def cb(self):
+                fired.append(sim.now)
+
+        far = Owner()
+        sim.register_owner(far, 1)
+        sim.schedule_at(self.W, far.cb)          # exactly W ahead of t=0
+        assert sim.cross_shard_events == 1       # shard 0 -> shard 1
+        assert sim.lookahead_violations == 0     # boundary is not inside W
+        sim.run()
+        assert fired == [self.W]
+
+        sim2 = self._sim()
+        near, far2 = Owner(), Owner()
+        sim2.register_owner(near, 0)
+        sim2.register_owner(far2, 1)
+
+        def kick():
+            sim2.schedule_at(sim2.now + self.W, far2.cb)      # boundary: ok
+            sim2.schedule_at(sim2.now + self.W / 2, far2.cb)  # inside: violates
+
+        sim2.schedule_at(0.0, kick)
+        sim2.run()
+        assert sim2.cross_shard_events == 2
+        assert sim2.lookahead_violations == 1
+
+    def test_barrier_crossings_count_window_boundaries(self):
+        # W = 0.25 is exact in binary, so int(time / W) has no float
+        # fuzz: events at 0.5, 1.0, ..., 2.5 sweep exactly 10 windows.
+        sim = ShardedSimulator(2, window_s=0.25)
+        for i in range(1, 6):
+            sim.schedule_at(i * 0.5, lambda: None)
+        sim.run()
+        assert sim.barrier_crossings == 10
+
+    def test_events_execute_in_global_time_seq_order(self):
+        sim = self._sim(shards=3)
+        order = []
+
+        class Owner:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def cb(self):
+                order.append(self.tag)
+
+        owners = [Owner(i) for i in range(3)]
+        for i, o in enumerate(owners):
+            sim.register_owner(o, i)
+        # Same timestamp across shards: sequence order (push order)
+        # must win, exactly as in a single heap.
+        for o in (owners[2], owners[0], owners[1]):
+            sim.schedule_at(0.5, o.cb)
+        sim.run()
+        assert order == [2, 0, 1]
+
+    def test_empty_shard_never_blocks_the_merge(self):
+        sim = self._sim(shards=4)  # nothing registered to shards 1-3
+        hits = []
+        sim.schedule_at(0.0, lambda: hits.append(sim.now))
+        sim.schedule_at(0.5, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [0.0, 0.5]
+        assert sim.events_per_shard == [2, 0, 0, 0]
+
+    def test_run_until_stops_before_overshooting_event(self):
+        sim = self._sim()
+        hits = []
+        sim.schedule_at(0.25, lambda: hits.append(1))
+        sim.schedule_at(0.75, lambda: hits.append(2))
+        sim.run(until=0.5)
+        assert hits == [1] and sim.now == 0.5
+        assert sim.pending_events == 1
+        sim.run()
+        assert hits == [1, 2]
+
+    def test_step_and_pending_events(self):
+        sim = self._sim()
+        sim.schedule_at(0.1, lambda: None)
+        sim.schedule_at(0.2, lambda: None)
+        assert sim.pending_events == 2
+        assert sim.step() and sim.step()
+        assert not sim.step()
+        assert sim.pending_events == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedSimulator(0)
+        with pytest.raises(ValueError, match="window_s"):
+            ShardedSimulator(2, window_s=-1.0)
+        sim = self._sim()
+        with pytest.raises(ValueError, match="shard"):
+            sim.register_owner(object(), 5)
